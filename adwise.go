@@ -1,0 +1,241 @@
+// Package adwise is a from-scratch Go implementation of ADWISE — the
+// adaptive window-based streaming edge partitioner of Mayer et al.
+// (ICDCS 2018) — together with the single-edge streaming baselines it is
+// evaluated against (Hash, 1D/2D, Grid, Greedy, DBH, HDRF), the spotlight
+// optimization for parallel loading, synthetic generators for the paper's
+// evaluation graphs, a vertex-cut graph-processing engine with a simulated
+// cluster cost model, and a benchmark harness that regenerates every table
+// and figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	g, _ := adwise.Generate(adwise.GraphBrain, 0.1, 42)
+//	p, _ := adwise.NewADWISE(32, adwise.WithLatencyPreference(time.Second))
+//	assignment, _ := p.Run(adwise.StreamGraph(g))
+//	fmt.Println(adwise.Summarize(assignment))
+//
+// The partitioner assigns every edge of the stream to one of k partitions
+// (a vertex-cut): vertices incident to edges on multiple partitions are
+// replicated, and the replication degree (mean replicas per vertex) is the
+// quality objective. ADWISE buffers a window of edges and repeatedly
+// assigns the best-scoring one, adapting the window size at run time so
+// the pass completes within a configurable latency preference L.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured reproduction record.
+package adwise
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/adwise-go/adwise/internal/core"
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/partition"
+	"github.com/adwise-go/adwise/internal/stream"
+)
+
+// Core graph types, re-exported from the internal graph substrate.
+type (
+	// Edge is a single graph edge.
+	Edge = graph.Edge
+	// VertexID identifies a vertex.
+	VertexID = graph.VertexID
+	// Graph is an edge-list graph.
+	Graph = graph.Graph
+	// Assignment maps every streamed edge to its partition.
+	Assignment = metrics.Assignment
+	// Summary reports partitioning quality (replication degree, balance).
+	Summary = metrics.Summary
+	// Stream is a single-pass edge stream.
+	Stream = stream.Stream
+)
+
+// ADWISE configuration options, re-exported from the core implementation.
+type (
+	// Option configures an ADWISE partitioner.
+	Option = core.Option
+	// RunStats reports what one ADWISE pass did (window trajectory, score
+	// computations, latency).
+	RunStats = core.RunStats
+	// Partitioner is the ADWISE streaming partitioner. Instances are
+	// single-use: one Run per instance.
+	Partitioner = core.Adwise
+)
+
+// Re-exported ADWISE options. See the core package for semantics.
+var (
+	// WithLatencyPreference sets the partitioning latency preference L.
+	WithLatencyPreference = core.WithLatencyPreference
+	// WithClusteringScore toggles the clustering score (Eq. 6).
+	WithClusteringScore = core.WithClusteringScore
+	// WithAllowedPartitions restricts assignments to a partition subset
+	// (the spotlight spread).
+	WithAllowedPartitions = core.WithAllowedPartitions
+	// WithInitialWindow sets the starting window size.
+	WithInitialWindow = core.WithInitialWindow
+	// WithMaxWindow caps the adaptive window.
+	WithMaxWindow = core.WithMaxWindow
+	// WithFixedWindow disables window adaptation.
+	WithFixedWindow = core.WithFixedWindow
+	// WithFixedLambda pins the balancing weight (ablation).
+	WithFixedLambda = core.WithFixedLambda
+	// WithEagerTraversal disables lazy traversal (ablation).
+	WithEagerTraversal = core.WithEagerTraversal
+	// WithClock substitutes the latency time source (tests).
+	WithClock = core.WithClock
+	// WithTotalEdgesHint supplies the stream length when unknown.
+	WithTotalEdgesHint = core.WithTotalEdgesHint
+	// WithEpsilon sets the candidate threshold offset ε.
+	WithEpsilon = core.WithEpsilon
+	// WithMaxCandidates bounds the lazy-traversal candidate set.
+	WithMaxCandidates = core.WithMaxCandidates
+)
+
+// NewADWISE returns an ADWISE partitioner for k partitions.
+func NewADWISE(k int, opts ...Option) (*Partitioner, error) {
+	return core.New(k, opts...)
+}
+
+// BaselineConfig configures a single-edge baseline partitioner.
+type BaselineConfig = partition.Config
+
+// Baseline identifies one of the single-edge streaming strategies from the
+// paper's evaluation landscape.
+type Baseline string
+
+// The implemented single-edge baselines.
+const (
+	BaselineHash   Baseline = "hash"
+	BaselineOneDim Baseline = "1d"
+	BaselineTwoDim Baseline = "2d"
+	BaselineGrid   Baseline = "grid"
+	BaselineGreedy Baseline = "greedy"
+	BaselineDBH    Baseline = "dbh"
+	BaselineHDRF   Baseline = "hdrf"
+)
+
+// Baselines lists the single-edge strategies in Figure 1 order.
+func Baselines() []Baseline {
+	return []Baseline{BaselineHash, BaselineOneDim, BaselineTwoDim, BaselineGrid,
+		BaselineGreedy, BaselineDBH, BaselineHDRF}
+}
+
+// NewBaseline constructs a named single-edge streaming partitioner. HDRF
+// uses the authors' recommended λ=1.1.
+func NewBaseline(name Baseline, cfg BaselineConfig) (StreamingPartitioner, error) {
+	switch name {
+	case BaselineHash:
+		return partition.NewHash(cfg)
+	case BaselineOneDim:
+		return partition.NewOneDim(cfg)
+	case BaselineTwoDim:
+		return partition.NewTwoDim(cfg)
+	case BaselineGrid:
+		return partition.NewGrid(cfg)
+	case BaselineGreedy:
+		return partition.NewGreedy(cfg)
+	case BaselineDBH:
+		return partition.NewDBH(cfg)
+	case BaselineHDRF:
+		return partition.NewHDRF(cfg, partition.HDRFDefaultLambda)
+	default:
+		return nil, fmt.Errorf("adwise: unknown baseline %q", name)
+	}
+}
+
+// NewHDRF constructs an HDRF partitioner with an explicit balancing
+// weight.
+func NewHDRF(cfg BaselineConfig, lambda float64) (StreamingPartitioner, error) {
+	return partition.NewHDRF(cfg, lambda)
+}
+
+// StreamingPartitioner is a single-edge streaming partitioner: one
+// partition decision per arriving edge.
+type StreamingPartitioner = partition.Partitioner
+
+// RunBaseline drains s through a single-edge partitioner.
+func RunBaseline(s Stream, p StreamingPartitioner) *Assignment {
+	return partition.Run(s, p)
+}
+
+// PartitionNE runs the all-edge neighbourhood-expansion heuristic (the
+// super-linear, high-quality reference point of Figure 1).
+func PartitionNE(g *Graph, k int, seed uint64) (*Assignment, error) {
+	return partition.NE{}.Partition(g, k, seed)
+}
+
+// Summarize computes the quality summary of an assignment: replication
+// degree (Eq. 1 of the paper), balance (Eq. 2), cut vertices, sizes.
+func Summarize(a *Assignment) Summary {
+	return metrics.Summarize(a)
+}
+
+// SaveAssignment writes a partitioning as "src dst partition" TSV rows —
+// the interchange format between the partitioning and processing tools.
+func SaveAssignment(path string, a *Assignment) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("adwise: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := a.WriteTSV(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("adwise: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadAssignment reads a partitioning written by SaveAssignment.
+func LoadAssignment(path string) (*Assignment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("adwise: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return metrics.ReadTSV(f)
+}
+
+// ReplicaHistogram returns, for h in 0..k, how many vertices have h
+// replicas.
+func ReplicaHistogram(a *Assignment) []int {
+	return metrics.ReplicaHistogram(a)
+}
+
+// StreamGraph streams a graph's edges in their stored order.
+func StreamGraph(g *Graph) Stream { return stream.FromGraph(g) }
+
+// StreamEdges streams an edge slice in order.
+func StreamEdges(edges []Edge) Stream { return stream.FromEdges(edges) }
+
+// StreamFile streams a text edge-list file without materialising it; the
+// returned closer must be closed by the caller.
+func StreamFile(path string) (*stream.File, error) { return stream.OpenFile(path) }
+
+// Shuffle returns a seeded pseudo-random permutation of edges.
+func Shuffle(edges []Edge, seed uint64) []Edge { return stream.Shuffled(edges, seed) }
+
+// Interleave dilutes stream locality by round-robin interleaving
+// contiguous blocks.
+func Interleave(edges []Edge, blocks int) []Edge { return stream.Interleave(edges, blocks) }
+
+// Spotlight configuration and runner, re-exported from core.
+type (
+	// SpotlightConfig configures parallel loading with restricted spread.
+	SpotlightConfig = core.SpotlightConfig
+	// Runner is one partitioner instance under spotlight.
+	Runner = core.Runner
+)
+
+// RunSpotlight partitions edges with Z parallel instances of restricted
+// spread (§III-D of the paper). build receives the instance index and its
+// allowed partitions.
+func RunSpotlight(edges []Edge, cfg SpotlightConfig, build func(i int, allowed []int) (Runner, error)) (*Assignment, error) {
+	return core.RunSpotlight(edges, cfg, build)
+}
+
+// AsRunner adapts a single-edge partitioner to a spotlight Runner.
+func AsRunner(p StreamingPartitioner) Runner { return core.StreamingRunner(p) }

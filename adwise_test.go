@@ -1,0 +1,244 @@
+package adwise_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	adwise "github.com/adwise-go/adwise"
+)
+
+func TestPublicQuickstartPath(t *testing.T) {
+	g, err := adwise.Generate(adwise.GraphBrain, 0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := adwise.NewADWISE(8, adwise.WithInitialWindow(32), adwise.WithFixedWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Run(adwise.StreamGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != g.E() {
+		t.Fatalf("assigned %d of %d edges", a.Len(), g.E())
+	}
+	s := adwise.Summarize(a)
+	if s.ReplicationDegree < 1 {
+		t.Errorf("RF = %v < 1", s.ReplicationDegree)
+	}
+	if got := p.Stats(); got.Assignments != int64(g.E()) {
+		t.Errorf("stats assignments = %d", got.Assignments)
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	g, err := adwise.Generate(adwise.GraphOrkut, 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range adwise.Baselines() {
+		p, err := adwise.NewBaseline(name, adwise.BaselineConfig{K: 8, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		a := adwise.RunBaseline(adwise.StreamGraph(g), p)
+		if a.Len() != g.E() {
+			t.Errorf("%s: assigned %d of %d", name, a.Len(), g.E())
+		}
+	}
+	if _, err := adwise.NewBaseline("bogus", adwise.BaselineConfig{K: 8}); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+	if _, err := adwise.NewHDRF(adwise.BaselineConfig{K: 8}, 2.0); err != nil {
+		t.Errorf("NewHDRF: %v", err)
+	}
+}
+
+func TestPublicSpotlight(t *testing.T) {
+	g, err := adwise.Generate(adwise.GraphBrain, 0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := adwise.SpotlightConfig{K: 8, Z: 4, Spread: 2}
+	a, err := adwise.RunSpotlight(g.Edges, cfg, func(i int, allowed []int) (adwise.Runner, error) {
+		p, err := adwise.NewBaseline(adwise.BaselineGreedy, adwise.BaselineConfig{K: 8, Allowed: allowed})
+		if err != nil {
+			return nil, err
+		}
+		return adwise.AsRunner(p), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != g.E() {
+		t.Fatalf("spotlight assigned %d of %d", a.Len(), g.E())
+	}
+}
+
+func TestPublicNE(t *testing.T) {
+	g, err := adwise.Community(10, 8, 0.9, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := adwise.PartitionNE(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != g.E() {
+		t.Fatalf("NE assigned %d of %d", a.Len(), g.E())
+	}
+	hist := adwise.ReplicaHistogram(a)
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total != adwise.Summarize(a).Vertices {
+		t.Error("histogram does not cover all vertices")
+	}
+}
+
+func TestPublicGraphIO(t *testing.T) {
+	g, err := adwise.ErdosRenyi(50, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := adwise.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := adwise.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.E() != g.E() || back.V() != g.V() {
+		t.Errorf("round trip: V=%d E=%d, want V=%d E=%d", back.V(), back.E(), g.V(), g.E())
+	}
+	st := adwise.Stats(g, 1)
+	if st.V != 50 || st.E != 100 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestPublicStreamFile(t *testing.T) {
+	g, err := adwise.Path(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := adwise.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := adwise.StreamFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	p, err := adwise.NewADWISE(4, adwise.WithLatencyPreference(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Run(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != g.E() {
+		t.Errorf("file stream: assigned %d of %d", a.Len(), g.E())
+	}
+}
+
+func TestPublicEngineWorkloads(t *testing.T) {
+	g, err := adwise.Generate(adwise.GraphWeb, 0.02, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := adwise.NewBaseline(adwise.BaselineHDRF, adwise.BaselineConfig{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := adwise.RunBaseline(adwise.StreamGraph(g), p)
+	eng, err := adwise.NewEngine(a, g.NumV, adwise.DefaultCostModel(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ranks, rep, err := eng.PageRank(10, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Supersteps != 10 {
+		t.Errorf("supersteps = %d", rep.Supersteps)
+	}
+	ref := adwise.PageRankReference(g, 10, 0.85)
+	for v := range ranks {
+		if d := ranks[v] - ref[v]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("rank[%d] deviates: %v vs %v", v, ranks[v], ref[v])
+		}
+	}
+
+	colors, _, err := eng.Coloring(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adwise.ValidColoring(g, colors) {
+		t.Error("improper coloring")
+	}
+}
+
+func TestPublicShuffleInterleave(t *testing.T) {
+	g, err := adwise.Cycle(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := adwise.Shuffle(g.Edges, 3)
+	il := adwise.Interleave(g.Edges, 10)
+	if len(sh) != g.E() || len(il) != g.E() {
+		t.Fatal("order transforms changed edge count")
+	}
+	seen := make(map[adwise.Edge]int)
+	for _, e := range il {
+		seen[e]++
+	}
+	for _, e := range g.Edges {
+		if seen[e] != 1 {
+			t.Fatalf("interleave lost edge %v", e)
+		}
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	exps := adwise.Experiments()
+	if len(exps) < 17 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	want := []string{"table2", "fig1", "fig7a", "fig7b", "fig7c", "fig7d", "fig7e",
+		"fig7f", "fig7g", "fig7h", "fig7i", "fig8"}
+	for _, id := range want {
+		if _, err := adwise.LookupExperiment(id); err != nil {
+			t.Errorf("experiment %s missing: %v", id, err)
+		}
+	}
+	if _, err := adwise.LookupExperiment("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestPublicExperimentTable2(t *testing.T) {
+	cfg := adwise.DefaultExperimentConfig()
+	cfg.Scale = 0.02
+	e, err := adwise.LookupExperiment("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("Table II has %d rows, want 3", len(tab.Rows))
+	}
+	if tab.String() == "" {
+		t.Error("empty rendering")
+	}
+}

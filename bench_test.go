@@ -1,0 +1,227 @@
+package adwise_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each benchmark executes the corresponding experiment from the harness at
+// a laptop-friendly scale and reports the headline quality metric
+// alongside the timing, so `go test -bench=.` regenerates the whole
+// evaluation. Use cmd/adwise-bench to print the full tables and to run at
+// larger scales.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	adwise "github.com/adwise-go/adwise"
+)
+
+// benchConfig returns the experiment configuration used by the root
+// benchmarks. Scale can be raised via the ADWISE_BENCH_SCALE environment
+// variable (e.g. ADWISE_BENCH_SCALE=1.0 for the full-size stand-ins).
+func benchConfig(b *testing.B) adwise.ExperimentConfig {
+	b.Helper()
+	cfg := adwise.DefaultExperimentConfig()
+	cfg.Scale = 0.1
+	if s := os.Getenv("ADWISE_BENCH_SCALE"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			b.Fatalf("bad ADWISE_BENCH_SCALE %q: %v", s, err)
+		}
+		cfg.Scale = v
+	}
+	return cfg
+}
+
+// runExperiment benchmarks one harness experiment and reports the mean
+// replication degree of its last row's RF column when present.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchConfig(b)
+	exp, err := adwise.LookupExperiment(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var table *adwise.ExperimentTable
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table = t
+	}
+	b.StopTimer()
+	if table != nil && b.N > 0 {
+		if rf, ok := lastRF(table); ok {
+			b.ReportMetric(rf, "RF")
+		}
+	}
+}
+
+// lastRF extracts the RF cell of the last table row, if the table has an
+// RF column.
+func lastRF(t *adwise.ExperimentTable) (float64, bool) {
+	col := -1
+	for i, c := range t.Columns {
+		if c == "RF" {
+			col = i
+		}
+	}
+	if col < 0 || len(t.Rows) == 0 {
+		return 0, false
+	}
+	last := t.Rows[len(t.Rows)-1]
+	if col >= len(last) {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(last[col], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// BenchmarkTableII regenerates Table II (graph inventory).
+func BenchmarkTableII(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFigure1 regenerates Figure 1 (latency-vs-quality landscape).
+func BenchmarkFigure1(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFigure7a regenerates Figure 7a (PageRank on Brain).
+func BenchmarkFigure7a(b *testing.B) { runExperiment(b, "fig7a") }
+
+// BenchmarkFigure7b regenerates Figure 7b (PageRank on Web).
+func BenchmarkFigure7b(b *testing.B) { runExperiment(b, "fig7b") }
+
+// BenchmarkFigure7c regenerates Figure 7c (PageRank on Orkut).
+func BenchmarkFigure7c(b *testing.B) { runExperiment(b, "fig7c") }
+
+// BenchmarkFigure7d regenerates Figure 7d (subgraph isomorphism on Brain).
+func BenchmarkFigure7d(b *testing.B) { runExperiment(b, "fig7d") }
+
+// BenchmarkFigure7e regenerates Figure 7e (graph coloring on Web).
+func BenchmarkFigure7e(b *testing.B) { runExperiment(b, "fig7e") }
+
+// BenchmarkFigure7f regenerates Figure 7f (clique search on Orkut).
+func BenchmarkFigure7f(b *testing.B) { runExperiment(b, "fig7f") }
+
+// BenchmarkFigure7g regenerates Figure 7g (replication degree on Brain).
+func BenchmarkFigure7g(b *testing.B) { runExperiment(b, "fig7g") }
+
+// BenchmarkFigure7h regenerates Figure 7h (replication degree on Web).
+func BenchmarkFigure7h(b *testing.B) { runExperiment(b, "fig7h") }
+
+// BenchmarkFigure7i regenerates Figure 7i (replication degree on Orkut).
+func BenchmarkFigure7i(b *testing.B) { runExperiment(b, "fig7i") }
+
+// BenchmarkFigure8 regenerates Figure 8 (spotlight spread sweep).
+func BenchmarkFigure8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkAblationLazy regenerates the lazy-vs-eager traversal ablation.
+func BenchmarkAblationLazy(b *testing.B) { runExperiment(b, "ablation-lazy") }
+
+// BenchmarkAblationLambda regenerates the adaptive-λ ablation.
+func BenchmarkAblationLambda(b *testing.B) { runExperiment(b, "ablation-lambda") }
+
+// BenchmarkAblationClustering regenerates the clustering-score ablation.
+func BenchmarkAblationClustering(b *testing.B) { runExperiment(b, "ablation-clustering") }
+
+// BenchmarkAblationWindow regenerates the fixed-window sweep ablation.
+func BenchmarkAblationWindow(b *testing.B) { runExperiment(b, "ablation-window") }
+
+// BenchmarkAblationOrder regenerates the stream-order ablation.
+func BenchmarkAblationOrder(b *testing.B) { runExperiment(b, "ablation-order") }
+
+// Micro-benchmarks for the partitioning hot paths, independent of the
+// experiment harness.
+
+func benchPartitioner(b *testing.B, build func() (adwise.Runner, error)) {
+	b.Helper()
+	g, err := adwise.Generate(adwise.GraphBrain, 0.1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := adwise.Interleave(g.Edges, 64)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(edges) * 8))
+	b.ResetTimer()
+	var rf float64
+	for i := 0; i < b.N; i++ {
+		r, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := r.Run(adwise.StreamEdges(edges))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rf = adwise.Summarize(a).ReplicationDegree
+	}
+	b.StopTimer()
+	b.ReportMetric(rf, "RF")
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkPartitionHDRF measures the strongest single-edge baseline.
+func BenchmarkPartitionHDRF(b *testing.B) {
+	benchPartitioner(b, func() (adwise.Runner, error) {
+		p, err := adwise.NewBaseline(adwise.BaselineHDRF, adwise.BaselineConfig{K: 32})
+		if err != nil {
+			return nil, err
+		}
+		return adwise.AsRunner(p), nil
+	})
+}
+
+// BenchmarkPartitionDBH measures the hashing baseline.
+func BenchmarkPartitionDBH(b *testing.B) {
+	benchPartitioner(b, func() (adwise.Runner, error) {
+		p, err := adwise.NewBaseline(adwise.BaselineDBH, adwise.BaselineConfig{K: 32})
+		if err != nil {
+			return nil, err
+		}
+		return adwise.AsRunner(p), nil
+	})
+}
+
+// BenchmarkPartitionADWISE measures ADWISE across fixed window sizes.
+func BenchmarkPartitionADWISE(b *testing.B) {
+	for _, w := range []int{1, 64, 512} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			benchPartitioner(b, func() (adwise.Runner, error) {
+				return adwise.NewADWISE(32,
+					adwise.WithInitialWindow(w),
+					adwise.WithFixedWindow())
+			})
+		})
+	}
+}
+
+// BenchmarkEnginePageRank measures the engine's real parallel execution
+// throughput (edge traversals per second across all partitions).
+func BenchmarkEnginePageRank(b *testing.B) {
+	g, err := adwise.Generate(adwise.GraphBrain, 0.1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := adwise.NewBaseline(adwise.BaselineHDRF, adwise.BaselineConfig{K: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := adwise.RunBaseline(adwise.StreamEdges(adwise.Interleave(g.Edges, 64)), p)
+	eng, err := adwise.NewEngine(a, g.NumV, adwise.BenchCostModel(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.PageRank(10, 0.85); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(10*g.E())*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}

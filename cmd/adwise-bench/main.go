@@ -1,0 +1,72 @@
+// Command adwise-bench regenerates the paper's evaluation: every table and
+// figure (Table II, Figure 1, Figures 7a–7i, Figure 8) plus the design
+// ablations, as aligned text tables.
+//
+// Usage:
+//
+//	adwise-bench -exp list
+//	adwise-bench -exp fig7a -scale 0.2 -v
+//	adwise-bench -exp all -scale 0.1 > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	adwise "github.com/adwise-go/adwise"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adwise-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adwise-bench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "list", `experiment id, "all", or "list"`)
+		scale   = fs.Float64("scale", 0.1, "graph scale factor (1.0 = default evaluation size)")
+		seed    = fs.Uint64("seed", 42, "experiment seed")
+		k       = fs.Int("k", 32, "partitions")
+		z       = fs.Int("z", 8, "parallel partitioner instances")
+		spread  = fs.Int("spread", 4, "spotlight spread (partitions per instance)")
+		verbose = fs.Bool("v", false, "print progress lines to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := adwise.DefaultExperimentConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.K = *k
+	cfg.Z = *z
+	cfg.Spread = *spread
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+
+	switch *exp {
+	case "list":
+		fmt.Println("available experiments:")
+		for _, e := range adwise.Experiments() {
+			fmt.Printf("  %-20s %s\n", e.ID, e.Paper)
+		}
+		return nil
+	case "all":
+		return adwise.RunAllExperiments(cfg, os.Stdout)
+	default:
+		e, err := adwise.LookupExperiment(*exp)
+		if err != nil {
+			return err
+		}
+		t, err := e.Run(cfg)
+		if err != nil {
+			return err
+		}
+		return t.Fprint(os.Stdout)
+	}
+}

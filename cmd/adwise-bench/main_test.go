@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-exp", "list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "table2", "-scale", "0.02"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	if err := run([]string{"-exp", "ablation-window", "-scale", "0.02", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "bogus"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Command adwise-gen generates synthetic evaluation graphs: the three
+// Table II stand-ins (orkut, brain, web) or any of the generic generators.
+//
+// Usage:
+//
+//	adwise-gen -preset brain -scale 0.5 -out brain.txt
+//	adwise-gen -model ba -n 100000 -m 8 -out ba.bin
+//	adwise-gen -model community -n 2000 -csize 20 -pin 0.9 -inter 5000 -out web.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	adwise "github.com/adwise-go/adwise"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adwise-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adwise-gen", flag.ContinueOnError)
+	var (
+		preset = fs.String("preset", "", "Table II stand-in: orkut, brain, web")
+		scale  = fs.Float64("scale", 1.0, "preset scale factor")
+		model  = fs.String("model", "", "generic model: er, ba, hk, ws, community, rmat")
+		n      = fs.Int("n", 10000, "vertices (er/ba/hk/ws) or communities (community) or scale exponent (rmat)")
+		m      = fs.Int("m", 4, "edges per vertex (ba/hk), neighbours per side (ws), total edges (er/rmat)")
+		pt     = fs.Float64("pt", 0.5, "triad probability (hk) / rewiring beta (ws)")
+		csize  = fs.Int("csize", 20, "community size (community)")
+		pin    = fs.Float64("pin", 0.9, "intra-community edge probability (community)")
+		inter  = fs.Int("inter", 1000, "inter-community edges (community)")
+		seed   = fs.Uint64("seed", 42, "generator seed")
+		out    = fs.String("out", "", "output path (.bin for binary, else text)")
+		stats  = fs.Bool("stats", true, "print Table II-style stats")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("missing -out path")
+	}
+
+	var (
+		g   *adwise.Graph
+		err error
+	)
+	switch {
+	case *preset != "":
+		g, err = adwise.Generate(adwise.GraphPreset(*preset), *scale, *seed)
+	case *model != "":
+		g, err = generate(*model, *n, *m, *pt, *csize, *pin, *inter, *seed)
+	default:
+		return fmt.Errorf("need -preset or -model")
+	}
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Println(adwise.Stats(g, *seed))
+	}
+	if err := adwise.SaveGraph(*out, g); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d vertices, %d edges)\n", *out, g.V(), g.E())
+	return nil
+}
+
+func generate(model string, n, m int, pt float64, csize int, pin float64, inter int, seed uint64) (*adwise.Graph, error) {
+	switch model {
+	case "er":
+		return adwise.ErdosRenyi(n, m, seed)
+	case "ba":
+		return adwise.BarabasiAlbert(n, m, seed)
+	case "hk":
+		return adwise.HolmeKim(n, m, pt, seed)
+	case "ws":
+		return adwise.WattsStrogatz(n, m, pt, seed)
+	case "community":
+		return adwise.Community(n, csize, pin, inter, seed)
+	case "rmat":
+		return adwise.RMAT(n, m, 0.57, 0.19, 0.19, seed)
+	default:
+		return nil, fmt.Errorf("unknown model %q (have er, ba, hk, ws, community, rmat)", model)
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	adwise "github.com/adwise-go/adwise"
+)
+
+func TestRunPresets(t *testing.T) {
+	dir := t.TempDir()
+	for _, preset := range []string{"orkut", "brain", "web"} {
+		out := filepath.Join(dir, preset+".txt")
+		if err := run([]string{"-preset", preset, "-scale", "0.02", "-out", out}); err != nil {
+			t.Errorf("preset %s: %v", preset, err)
+			continue
+		}
+		g, err := adwise.LoadGraph(out)
+		if err != nil {
+			t.Errorf("loading %s: %v", out, err)
+			continue
+		}
+		if g.E() == 0 {
+			t.Errorf("preset %s produced empty graph", preset)
+		}
+	}
+}
+
+func TestRunModels(t *testing.T) {
+	dir := t.TempDir()
+	tests := [][]string{
+		{"-model", "er", "-n", "100", "-m", "200"},
+		{"-model", "ba", "-n", "100", "-m", "3"},
+		{"-model", "hk", "-n", "100", "-m", "3", "-pt", "0.6"},
+		{"-model", "ws", "-n", "100", "-m", "4", "-pt", "0.1"},
+		{"-model", "community", "-n", "10", "-csize", "8", "-pin", "0.8", "-inter", "30"},
+		{"-model", "rmat", "-n", "8", "-m", "500"},
+	}
+	for i, args := range tests {
+		out := filepath.Join(dir, args[1]+".bin")
+		args = append(args, "-out", out)
+		if err := run(args); err != nil {
+			t.Errorf("model case %d (%v): %v", i, args, err)
+			continue
+		}
+		if _, err := adwise.LoadGraph(out); err != nil {
+			t.Errorf("loading %s: %v", out, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	tests := [][]string{
+		{},                   // missing everything
+		{"-preset", "brain"}, // missing -out
+		{"-model", "bogus", "-out", filepath.Join(dir, "x.txt")},
+		{"-preset", "nope", "-out", filepath.Join(dir, "y.txt")},
+		{"-model", "ba", "-n", "2", "-m", "5", "-out", filepath.Join(dir, "z.txt")}, // generator error
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	adwise "github.com/adwise-go/adwise"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	g, err := adwise.Community(8, 8, 0.9, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := adwise.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWorkloads(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, workload := range []string{"pagerank", "coloring", "cc", "sssp", "cycles", "cliques"} {
+		args := []string{"-in", path, "-k", "4", "-algo", "hdrf", "-workload", workload,
+			"-iters", "20", "-length", "4", "-size", "3", "-seeds", "4"}
+		if err := run(args); err != nil {
+			t.Errorf("workload %s: %v", workload, err)
+		}
+	}
+}
+
+func TestRunWithADWISEPartitioning(t *testing.T) {
+	path := writeTestGraph(t)
+	if err := run([]string{"-in", path, "-k", "4", "-algo", "adwise", "-latency", "200ms",
+		"-workload", "pagerank", "-iters", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPrecomputedAssignment(t *testing.T) {
+	path := writeTestGraph(t)
+	g, err := adwise.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := adwise.NewBaseline(adwise.BaselineGreedy, adwise.BaselineConfig{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := adwise.RunBaseline(adwise.StreamGraph(g), p)
+	parts := filepath.Join(t.TempDir(), "parts.tsv")
+	if err := adwise.SaveAssignment(parts, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-parts", parts, "-workload", "cc", "-iters", "50"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestGraph(t)
+	other := writeTestGraph(t) // different temp graph for mismatch test
+	g, _ := adwise.LoadGraph(other)
+	p, _ := adwise.NewBaseline(adwise.BaselineHash, adwise.BaselineConfig{K: 2})
+	a := adwise.RunBaseline(adwise.StreamEdges(g.Edges[:10]), p)
+	mismatch := filepath.Join(t.TempDir(), "mismatch.tsv")
+	if err := adwise.SaveAssignment(mismatch, a); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := [][]string{
+		{},                                  // missing -in
+		{"-in", "/nonexistent.txt"},         // unreadable
+		{"-in", path, "-workload", "bogus"}, // unknown workload
+		{"-in", path, "-algo", "bogus"},     // unknown algo
+		{"-in", path, "-parts", "/nonexistent.tsv"}, // unreadable parts
+		{"-in", path, "-parts", mismatch},           // edge-count mismatch
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Latency trade-off: the paper's headline experiment in miniature. Sweep
+// the ADWISE latency preference L, run PageRank on each partitioning, and
+// watch the total graph latency (partitioning + processing) dip at the
+// sweet spot and rise again when partitioning over-invests.
+//
+//	go run ./examples/latency_tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	adwise "github.com/adwise-go/adwise"
+)
+
+func main() {
+	g, err := adwise.Generate(adwise.GraphBrain, 0.1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Dilute the generator's perfectly local emission order a little, as a
+	// real scan would be.
+	edges := adwise.Interleave(g.Edges, 64)
+	fmt.Printf("graph: %d vertices, %d edges, k=32, PageRank x300\n", g.V(), g.E())
+	fmt.Printf("%-12s %10s %8s %12s %12s\n", "strategy", "part.lat", "RF", "processing", "TOTAL")
+
+	run := func(name string, a *adwise.Assignment, partLat time.Duration) {
+		eng, err := adwise.NewEngine(a, g.NumV, adwise.BenchCostModel(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, rep, err := eng.PageRank(300, 0.85)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := partLat + rep.SimulatedLatency
+		fmt.Printf("%-12s %10v %8.3f %12v %12v\n", name,
+			partLat.Round(time.Millisecond), adwise.Summarize(a).ReplicationDegree,
+			rep.SimulatedLatency.Round(time.Millisecond), total.Round(time.Millisecond))
+	}
+
+	// Baseline: HDRF, the best single-edge streaming partitioner.
+	h, err := adwise.NewBaseline(adwise.BaselineHDRF, adwise.BaselineConfig{K: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	ha := adwise.RunBaseline(adwise.StreamEdges(edges), h)
+	hdrfLat := time.Since(start)
+	run("hdrf", ha, hdrfLat)
+
+	// ADWISE at increasing latency preferences (multiples of HDRF's
+	// latency, per the paper's guidance of ~3x).
+	for _, mult := range []float64{3, 10, 30, 100} {
+		l := time.Duration(float64(hdrfLat) * mult)
+		p, err := adwise.NewADWISE(32, adwise.WithLatencyPreference(l))
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		a, err := p.Run(adwise.StreamEdges(edges))
+		if err != nil {
+			log.Fatal(err)
+		}
+		run(fmt.Sprintf("adwise %3.0fx", mult), a, time.Since(start))
+	}
+	fmt.Println("\nthe sweet spot: more partitioning latency buys quality until the investment stops paying off")
+}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		ID:      "Test",
+		Title:   "a table",
+		Columns: []string{"name", "value", "lat"},
+	}
+	tab.AddRow("alpha", 1.23456, 1500*time.Millisecond)
+	tab.AddRow("b", 7, 250*time.Microsecond)
+	tab.Notes = append(tab.Notes, "a note")
+
+	out := tab.String()
+	for _, want := range []string{"Test — a table", "alpha", "1.235", "1.50s", "250µs", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, rule, 2 rows, note
+		t.Errorf("rendered %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	tests := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0"},
+		{42 * time.Microsecond, "42µs"},
+		{1500 * time.Microsecond, "1.5ms"},
+		{2 * time.Second, "2.00s"},
+	}
+	for _, tc := range tests {
+		if got := formatDuration(tc.d); got != tc.want {
+			t.Errorf("formatDuration(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper must be present.
+	wanted := []string{"table2", "fig1", "fig7a", "fig7b", "fig7c", "fig7d",
+		"fig7e", "fig7f", "fig7g", "fig7h", "fig7i", "fig8"}
+	for _, id := range wanted {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+			continue
+		}
+		if e.Run == nil || e.Paper == "" {
+			t.Errorf("experiment %s incomplete: %+v", id, e)
+		}
+	}
+	if _, err := Lookup("bogus"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	ids := make(map[string]bool)
+	for _, e := range Experiments() {
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+}
+
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.02
+	cfg.PageRankIters = 100
+	cfg.ColoringIters = 50
+	cfg.CycleLengths = []int{4}
+	cfg.CycleSeedCount = 4
+	cfg.CycleMessageCap = 5_000
+	cfg.CliqueSizes = []int{3}
+	cfg.CliqueSeedCount = 4
+	cfg.LatencyMultipliers = []float64{3, 10}
+	return cfg
+}
+
+func TestTableIIStructure(t *testing.T) {
+	tab, err := TableII(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("Table II rows = %d, want 3 (orkut, brain, web)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Errorf("row %v has %d cells, want %d", row, len(row), len(tab.Columns))
+		}
+	}
+}
+
+func TestFigure7aStructure(t *testing.T) {
+	cfg := tinyConfig()
+	tab, err := Figure7a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dbh, hdrf, and one row per latency multiplier.
+	want := 2 + len(cfg.LatencyMultipliers)
+	if len(tab.Rows) != want {
+		t.Fatalf("Figure 7a rows = %d, want %d", len(tab.Rows), want)
+	}
+	if tab.Rows[0][0] != "dbh" || tab.Rows[1][0] != "hdrf" {
+		t.Errorf("unexpected strategy order: %v", tab.Rows)
+	}
+	// TOTAL column must be the last and non-empty.
+	last := tab.Columns[len(tab.Columns)-1]
+	if !strings.HasPrefix(last, "TOTAL") {
+		t.Errorf("last column = %q, want TOTAL@N", last)
+	}
+}
+
+func TestFigure8Monotone(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.05 // needs enough edges for the spread sweep to matter
+	tab, err := Figure8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("Figure 8 rows = %d, want 3 strategies", len(tab.Rows))
+	}
+	// Column 1 is spread=4, column 4 is spread=32: RF must not increase
+	// when the spread shrinks (the Figure 8 claim), allowing small noise.
+	for _, row := range tab.Rows {
+		small, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", row[1], err)
+		}
+		big, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", row[4], err)
+		}
+		if small > big*1.05 {
+			t.Errorf("%s: RF at spread=4 (%v) above spread=32 (%v)", row[0], small, big)
+		}
+	}
+}
+
+func TestFigure1Structure(t *testing.T) {
+	cfg := tinyConfig()
+	tab, err := Figure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 10 {
+		t.Fatalf("Figure 1 rows = %d, want the full landscape (>= 10)", len(tab.Rows))
+	}
+	names := make(map[string]bool)
+	for _, row := range tab.Rows {
+		names[row[0]] = true
+	}
+	for _, want := range []string{"hash", "dbh", "hdrf", "greedy", "grid", "ne"} {
+		if !names[want] {
+			t.Errorf("Figure 1 missing %s", want)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	cfg := tinyConfig()
+	for _, fn := range []func(Config) (*Table, error){
+		AblationLazy, AblationLambda, AblationClustering, AblationWindow, AblationOrder,
+	} {
+		tab, err := fn(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", tab.ID)
+		}
+	}
+}
+
+func TestWorkloadExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload experiments are slow")
+	}
+	cfg := tinyConfig()
+	for _, id := range []string{"fig7d", "fig7e", "fig7f", "fig7g"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+	}
+}

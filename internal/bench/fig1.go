@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/adwise-go/adwise/internal/core"
+	"github.com/adwise-go/adwise/internal/gen"
+	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/partition"
+	"github.com/adwise-go/adwise/internal/stream"
+)
+
+// Figure1 regenerates the research-gap landscape of Figure 1: partitioning
+// latency against partitioning quality for the whole algorithm spectrum —
+// the hashing family (Hash, 1D, 2D, Grid, DBH), the stateful single-edge
+// streamers (Greedy, HDRF), ADWISE at growing window sizes, and the
+// all-edge NE heuristic. Run on the Brain stand-in with a single
+// partitioner instance so latencies are directly comparable.
+func Figure1(cfg Config) (*Table, error) {
+	g, err := gen.BrainLike(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fig1: %w", err)
+	}
+	// Single-instance runs use a mildly interleaved stream: the generator's
+	// raw ring order is so perfectly local that HDRF's balance term
+	// saturates and leaves partitions empty (see EXPERIMENTS.md).
+	edges := stream.Interleave(g.Edges, 64)
+
+	t := &Table{
+		ID:      "Figure 1",
+		Title:   fmt.Sprintf("Partitioning latency vs quality landscape (Brain-like, k=%d, single instance)", cfg.K),
+		Columns: []string{"algorithm", "class", "latency", "RF", "imbalance"},
+	}
+
+	type entry struct {
+		name, class string
+		run         func() (*metrics.Assignment, error)
+	}
+	pcfg := partition.Config{K: cfg.K, Seed: cfg.Seed}
+	single := func(build func() (partition.Partitioner, error)) func() (*metrics.Assignment, error) {
+		return func() (*metrics.Assignment, error) {
+			p, err := build()
+			if err != nil {
+				return nil, err
+			}
+			return partition.Run(stream.FromEdges(edges), p), nil
+		}
+	}
+	adwise := func(w int) func() (*metrics.Assignment, error) {
+		return func() (*metrics.Assignment, error) {
+			ad, err := core.New(cfg.K, core.WithInitialWindow(w), core.WithFixedWindow())
+			if err != nil {
+				return nil, err
+			}
+			return ad.Run(stream.FromEdges(edges))
+		}
+	}
+	entries := []entry{
+		{"hash", "single-edge", single(func() (partition.Partitioner, error) { return partition.NewHash(pcfg) })},
+		{"1d", "single-edge", single(func() (partition.Partitioner, error) { return partition.NewOneDim(pcfg) })},
+		{"2d", "single-edge", single(func() (partition.Partitioner, error) { return partition.NewTwoDim(pcfg) })},
+		{"grid", "single-edge", single(func() (partition.Partitioner, error) { return partition.NewGrid(pcfg) })},
+		{"dbh", "single-edge", single(func() (partition.Partitioner, error) { return partition.NewDBH(pcfg) })},
+		{"greedy", "single-edge", single(func() (partition.Partitioner, error) { return partition.NewGreedy(pcfg) })},
+		{"hdrf", "single-edge", single(func() (partition.Partitioner, error) { return partition.NewHDRF(pcfg, partition.HDRFDefaultLambda) })},
+		{"adwise w=16", "window", adwise(16)},
+		{"adwise w=128", "window", adwise(128)},
+		{"adwise w=1024", "window", adwise(1024)},
+		{"ne", "all-edge", func() (*metrics.Assignment, error) {
+			return partition.NE{}.Partition(g, cfg.K, cfg.Seed)
+		}},
+	}
+	for _, e := range entries {
+		start := time.Now()
+		a, err := e.run()
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig1 %s: %w", e.name, err)
+		}
+		lat := time.Since(start)
+		s := metrics.Summarize(a)
+		t.AddRow(e.name, e.class, lat, s.ReplicationDegree, s.Imbalance)
+		cfg.progressf("fig1: %-14s RF=%.3f lat=%v", e.name, s.ReplicationDegree, lat.Round(time.Millisecond))
+	}
+	t.Notes = append(t.Notes,
+		"single-edge streamers minimize latency; window/all-edge trade latency for quality (lower RF)")
+	return t, nil
+}

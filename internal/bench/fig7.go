@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"github.com/adwise-go/adwise/internal/engine"
+	"github.com/adwise-go/adwise/internal/gen"
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/metrics"
+)
+
+// Figure 7 family: for each strategy (DBH, HDRF, ADWISE×L sweep) partition
+// the graph under the paper's parallel-loading setup, execute the workload
+// on the engine, and report stacked partitioning + processing latency —
+// the total-graph-latency trade-off that is the paper's headline result.
+
+func (c Config) newEngine(a *metrics.Assignment, numV int) (*engine.Engine, error) {
+	return engine.New(a, numV, c.Cost, c.Workers)
+}
+
+// seedVertices picks n distinct seeded-random vertices from the universe.
+func seedVertices(numV, n int, seed uint64) []graph.VertexID {
+	rng := rand.New(rand.NewPCG(seed, 0x5eed5))
+	if n > numV {
+		n = numV
+	}
+	seen := make(map[graph.VertexID]struct{}, n)
+	out := make([]graph.VertexID, 0, n)
+	for len(out) < n {
+		v := graph.VertexID(rng.IntN(numV))
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// figure7PageRank implements Figures 7a–7c: PageRank in blocks of 100
+// iterations stacked on the partitioning latency.
+func figure7PageRank(cfg Config, preset gen.Preset, id string) (*Table, error) {
+	g, edges, err := cfg.evalGraph(preset)
+	if err != nil {
+		return nil, err
+	}
+	cfg.progressf("%s: %s V=%d E=%d", id, preset, g.NumV, g.E())
+	results, err := cfg.partitionSweep(preset, edges)
+	if err != nil {
+		return nil, err
+	}
+
+	const block = 100
+	blocks := cfg.PageRankIters / block
+	t := &Table{
+		ID:    id,
+		Title: fmt.Sprintf("PageRank on %s-like (k=%d, z=%d, spread=%d)", preset, cfg.K, cfg.Z, cfg.Spread),
+	}
+	t.Columns = []string{"strategy", "part.lat", "RF"}
+	for b := 1; b <= blocks; b++ {
+		t.Columns = append(t.Columns, fmt.Sprintf("proc@%d", b*block))
+	}
+	t.Columns = append(t.Columns, fmt.Sprintf("TOTAL@%d", blocks*block))
+
+	for _, r := range results {
+		eng, err := cfg.newEngine(r.Assignment, g.NumV)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s engine for %s: %w", id, r.label(), err)
+		}
+		_, rep, err := eng.PageRank(cfg.PageRankIters, 0.85)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s PageRank for %s: %w", id, r.label(), err)
+		}
+		row := []any{r.label(), r.Latency, r.Summary.ReplicationDegree}
+		for b := 1; b <= blocks; b++ {
+			row = append(row, rep.CumulativeLatency(b*block))
+		}
+		row = append(row, r.Latency+rep.SimulatedLatency)
+		t.AddRow(row...)
+		cfg.progressf("%s: %-16s total=%v", id, r.label(), (r.Latency + rep.SimulatedLatency).Round(time.Millisecond))
+	}
+	t.Notes = append(t.Notes,
+		"proc@N = simulated processing latency after N PageRank iterations; TOTAL = partitioning + processing")
+	return t, nil
+}
+
+// Figure7a regenerates Figure 7a: PageRank on Brain.
+func Figure7a(cfg Config) (*Table, error) { return figure7PageRank(cfg, gen.PresetBrain, "Figure 7a") }
+
+// Figure7b regenerates Figure 7b: PageRank on Web.
+func Figure7b(cfg Config) (*Table, error) { return figure7PageRank(cfg, gen.PresetWeb, "Figure 7b") }
+
+// Figure7c regenerates Figure 7c: PageRank on Orkut (clustering score off).
+func Figure7c(cfg Config) (*Table, error) { return figure7PageRank(cfg, gen.PresetOrkut, "Figure 7c") }
+
+// Figure7d regenerates Figure 7d: three consecutive subgraph-isomorphism
+// circle searches on Brain, stacked.
+func Figure7d(cfg Config) (*Table, error) {
+	const id = "Figure 7d"
+	g, edges, err := cfg.evalGraph(gen.PresetBrain)
+	if err != nil {
+		return nil, err
+	}
+	cfg.progressf("%s: brain V=%d E=%d", id, g.NumV, g.E())
+	results, err := cfg.partitionSweep(gen.PresetBrain, edges)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID: id,
+		Title: fmt.Sprintf("Subgraph isomorphism (circles %v) on Brain-like (k=%d, z=%d, spread=%d)",
+			cfg.CycleLengths, cfg.K, cfg.Z, cfg.Spread),
+	}
+	t.Columns = []string{"strategy", "part.lat", "RF"}
+	for _, l := range cfg.CycleLengths {
+		t.Columns = append(t.Columns, fmt.Sprintf("SI@len%d", l))
+	}
+	t.Columns = append(t.Columns, "TOTAL")
+
+	seeds := seedVertices(g.NumV, cfg.CycleSeedCount, cfg.Seed+7)
+	for _, r := range results {
+		eng, err := cfg.newEngine(r.Assignment, g.NumV)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s engine for %s: %w", id, r.label(), err)
+		}
+		row := []any{r.label(), r.Latency, r.Summary.ReplicationDegree}
+		var cum time.Duration
+		for _, length := range cfg.CycleLengths {
+			_, rep, err := eng.CycleSearch(engine.CycleSearchConfig{
+				Length:                  length,
+				Seeds:                   seeds,
+				MaxMessagesPerPartition: cfg.CycleMessageCap,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s cycle(%d) for %s: %w", id, length, r.label(), err)
+			}
+			cum += rep.SimulatedLatency
+			row = append(row, cum)
+		}
+		row = append(row, r.Latency+cum)
+		t.AddRow(row...)
+		cfg.progressf("%s: %-16s total=%v", id, r.label(), (r.Latency + cum).Round(time.Millisecond))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("circle lengths scaled down from the paper's 19/15/21; %d walker seeds, message cap %d/partition/step",
+			cfg.CycleSeedCount, cfg.CycleMessageCap))
+	return t, nil
+}
+
+// Figure7e regenerates Figure 7e: graph coloring on Web in blocks of 50
+// iterations.
+func Figure7e(cfg Config) (*Table, error) {
+	const id = "Figure 7e"
+	g, edges, err := cfg.evalGraph(gen.PresetWeb)
+	if err != nil {
+		return nil, err
+	}
+	cfg.progressf("%s: web V=%d E=%d", id, g.NumV, g.E())
+	results, err := cfg.partitionSweep(gen.PresetWeb, edges)
+	if err != nil {
+		return nil, err
+	}
+
+	const block = 50
+	blocks := cfg.ColoringIters / block
+	if blocks < 1 {
+		blocks = 1
+	}
+	t := &Table{
+		ID:    id,
+		Title: fmt.Sprintf("Graph coloring on Web-like (k=%d, z=%d, spread=%d)", cfg.K, cfg.Z, cfg.Spread),
+	}
+	t.Columns = []string{"strategy", "part.lat", "RF"}
+	for b := 1; b <= blocks; b++ {
+		t.Columns = append(t.Columns, fmt.Sprintf("proc@%d", b*block))
+	}
+	t.Columns = append(t.Columns, "steps", "TOTAL")
+
+	for _, r := range results {
+		eng, err := cfg.newEngine(r.Assignment, g.NumV)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s engine for %s: %w", id, r.label(), err)
+		}
+		_, rep, err := eng.Coloring(cfg.ColoringIters)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s coloring for %s: %w", id, r.label(), err)
+		}
+		row := []any{r.label(), r.Latency, r.Summary.ReplicationDegree}
+		for b := 1; b <= blocks; b++ {
+			row = append(row, rep.CumulativeLatency(b*block))
+		}
+		row = append(row, rep.Supersteps, r.Latency+rep.SimulatedLatency)
+		t.AddRow(row...)
+		cfg.progressf("%s: %-16s total=%v", id, r.label(), (r.Latency + rep.SimulatedLatency).Round(time.Millisecond))
+	}
+	t.Notes = append(t.Notes,
+		"coloring may converge before the iteration bound; proc@N flattens past convergence")
+	return t, nil
+}
+
+// Figure7f regenerates Figure 7f: random-walker clique search (sizes
+// 3/4/5, P=0.5 probabilistic flooding, 10 random starts) on Orkut.
+func Figure7f(cfg Config) (*Table, error) {
+	const id = "Figure 7f"
+	g, edges, err := cfg.evalGraph(gen.PresetOrkut)
+	if err != nil {
+		return nil, err
+	}
+	cfg.progressf("%s: orkut V=%d E=%d", id, g.NumV, g.E())
+	results, err := cfg.partitionSweep(gen.PresetOrkut, edges)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID: id,
+		Title: fmt.Sprintf("Clique search (sizes %v, P=0.5) on Orkut-like (k=%d, z=%d, spread=%d)",
+			cfg.CliqueSizes, cfg.K, cfg.Z, cfg.Spread),
+	}
+	t.Columns = []string{"strategy", "part.lat", "RF"}
+	for _, s := range cfg.CliqueSizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("clique@%d", s))
+	}
+	t.Columns = append(t.Columns, "TOTAL")
+
+	seeds := seedVertices(g.NumV, cfg.CliqueSeedCount, cfg.Seed+13)
+	for _, r := range results {
+		eng, err := cfg.newEngine(r.Assignment, g.NumV)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s engine for %s: %w", id, r.label(), err)
+		}
+		row := []any{r.label(), r.Latency, r.Summary.ReplicationDegree}
+		var cum time.Duration
+		for _, size := range cfg.CliqueSizes {
+			_, rep, err := eng.CliqueSearch(engine.CliqueSearchConfig{
+				Size:               size,
+				Seeds:              seeds,
+				ForwardProbability: 0.5,
+				Seed:               cfg.Seed + uint64(size),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s clique(%d) for %s: %w", id, size, r.label(), err)
+			}
+			cum += rep.SimulatedLatency
+			row = append(row, cum)
+		}
+		row = append(row, r.Latency+cum)
+		t.AddRow(row...)
+		cfg.progressf("%s: %-16s total=%v", id, r.label(), (r.Latency + cum).Round(time.Millisecond))
+	}
+	return t, nil
+}
+
+// figure7RF implements Figures 7g–7i: replication degree per strategy with
+// the partitioning latency annotation the paper prints above each bar.
+func figure7RF(cfg Config, preset gen.Preset, id string) (*Table, error) {
+	g, edges, err := cfg.evalGraph(preset)
+	if err != nil {
+		return nil, err
+	}
+	cfg.progressf("%s: %s V=%d E=%d", id, preset, g.NumV, g.E())
+	results, err := cfg.partitionSweep(preset, edges)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Replication degree on %s-like (k=%d, z=%d, spread=%d)", preset, cfg.K, cfg.Z, cfg.Spread),
+		Columns: []string{"strategy", "RF", "part.lat", "imbalance", "balanced(<0.05)"},
+	}
+	for _, r := range results {
+		t.AddRow(r.label(), r.Summary.ReplicationDegree, r.Latency, r.Summary.Imbalance,
+			fmt.Sprint(r.Summary.Imbalance < 0.05))
+	}
+	t.Notes = append(t.Notes, "paper reports all results at imbalance (max-min)/max < 0.05")
+	return t, nil
+}
+
+// Figure7g regenerates Figure 7g: replication degree on Brain.
+func Figure7g(cfg Config) (*Table, error) { return figure7RF(cfg, gen.PresetBrain, "Figure 7g") }
+
+// Figure7h regenerates Figure 7h: replication degree on Web.
+func Figure7h(cfg Config) (*Table, error) { return figure7RF(cfg, gen.PresetWeb, "Figure 7h") }
+
+// Figure7i regenerates Figure 7i: replication degree on Orkut.
+func Figure7i(cfg Config) (*Table, error) { return figure7RF(cfg, gen.PresetOrkut, "Figure 7i") }

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/adwise-go/adwise/internal/core"
+	"github.com/adwise-go/adwise/internal/gen"
+	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/partition"
+)
+
+// Figure8 regenerates Figure 8: the efficacy of the spotlight optimization
+// on Brain. With z=8 parallel partitioners filling k=32 partitions, the
+// spread (partitions per partitioner) is swept over {4, 8, 16, 32}; the
+// paper reports replication-degree reductions of up to 76% at the minimal
+// spread, for all strategies.
+func Figure8(cfg Config) (*Table, error) {
+	g, err := gen.BrainLike(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fig8: %w", err)
+	}
+	// Spotlight exploits locality already present in the stream; the
+	// paper streams the file in its natural order.
+	edges := g.Edges
+	cfg.progressf("fig8: brain V=%d E=%d", g.NumV, g.E())
+
+	spreads := []int{cfg.K / cfg.Z, 8, 16, cfg.K}
+	t := &Table{
+		ID:      "Figure 8",
+		Title:   fmt.Sprintf("Spotlight: RF vs spread on Brain-like (k=%d, z=%d)", cfg.K, cfg.Z),
+		Columns: []string{"strategy"},
+	}
+	for _, s := range spreads {
+		t.Columns = append(t.Columns, fmt.Sprintf("spread=%d", s))
+	}
+	t.Columns = append(t.Columns, "reduction")
+
+	strategies := []string{"dbh", "hdrf", "adwise"}
+	for _, name := range strategies {
+		row := []any{name}
+		var first, last float64
+		for i, spread := range spreads {
+			scfg := core.SpotlightConfig{K: cfg.K, Z: cfg.Z, Spread: spread}
+			a, err := core.RunSpotlight(edges, scfg, func(inst int, allowed []int) (core.Runner, error) {
+				return fig8Runner(cfg, name, inst, allowed)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig8 %s spread=%d: %w", name, spread, err)
+			}
+			rf := metrics.Summarize(a).ReplicationDegree
+			row = append(row, rf)
+			if i == 0 {
+				first = rf
+			}
+			if i == len(spreads)-1 {
+				last = rf
+			}
+			cfg.progressf("fig8: %-7s spread=%-2d RF=%.3f", name, spread, rf)
+		}
+		row = append(row, fmt.Sprintf("-%.0f%%", 100*(1-first/last)))
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"reduction = RF drop going from full spread (classic parallel loading) to the minimal spotlight spread k/z")
+	return t, nil
+}
+
+func fig8Runner(cfg Config, name string, inst int, allowed []int) (core.Runner, error) {
+	switch name {
+	case "dbh":
+		d, err := partition.NewDBH(partition.Config{K: cfg.K, Allowed: allowed, Seed: cfg.Seed + uint64(inst)})
+		if err != nil {
+			return nil, err
+		}
+		return core.StreamingRunner(d), nil
+	case "hdrf":
+		h, err := partition.NewHDRF(partition.Config{K: cfg.K, Allowed: allowed, Seed: cfg.Seed + uint64(inst)}, partition.HDRFDefaultLambda)
+		if err != nil {
+			return nil, err
+		}
+		return core.StreamingRunner(h), nil
+	case "adwise":
+		// A moderate fixed window keeps the sweep deterministic and
+		// isolates the spread effect from the latency-adaptation loop.
+		return core.New(cfg.K,
+			core.WithAllowedPartitions(allowed),
+			core.WithInitialWindow(64),
+			core.WithFixedWindow(),
+		)
+	default:
+		return nil, fmt.Errorf("bench: fig8: unknown strategy %q", name)
+	}
+}

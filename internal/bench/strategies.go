@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/adwise-go/adwise/internal/core"
+	"github.com/adwise-go/adwise/internal/gen"
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/partition"
+	"github.com/adwise-go/adwise/internal/stream"
+)
+
+// StrategyResult is one partitioning run of an experiment.
+type StrategyResult struct {
+	// Name labels the strategy ("dbh", "hdrf", "adwise").
+	Name string
+	// LatencyPref is ADWISE's L (zero for the single-edge baselines).
+	LatencyPref time.Duration
+	// Latency is the measured wall-clock partitioning latency.
+	Latency time.Duration
+	// Summary is the partitioning quality.
+	Summary metrics.Summary
+	// Assignment is the produced partitioning.
+	Assignment *metrics.Assignment
+}
+
+// evalGraph generates the preset graph and applies the experiment's stream
+// order. Orkut and Brain stream in generator (file) order, which carries
+// the temporal locality of a real crawl; Web is shuffled because the
+// community generator's file order is unrealistically clean (every site
+// fully contiguous) — see DESIGN.md §3.
+func (c Config) evalGraph(preset gen.Preset) (*graph.Graph, []graph.Edge, error) {
+	g, err := preset.Generate(c.Scale, c.Seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: generating %s: %w", preset, err)
+	}
+	edges := g.Edges
+	if preset == gen.PresetWeb {
+		edges = stream.Shuffled(g.Edges, c.Seed+1)
+	}
+	return g, edges, nil
+}
+
+func (c Config) spotlightConfig() core.SpotlightConfig {
+	return core.SpotlightConfig{K: c.K, Z: c.Z, Spread: c.Spread}
+}
+
+// runBaseline partitions edges with a named single-edge baseline under the
+// paper's parallel-loading setup.
+func (c Config) runBaseline(name string, edges []graph.Edge) (StrategyResult, error) {
+	build := func(i int, allowed []int) (core.Runner, error) {
+		pcfg := partition.Config{K: c.K, Allowed: allowed, Seed: c.Seed + uint64(i)}
+		var (
+			p   partition.Partitioner
+			err error
+		)
+		switch name {
+		case "hash":
+			p, err = partition.NewHash(pcfg)
+		case "1d":
+			p, err = partition.NewOneDim(pcfg)
+		case "2d":
+			p, err = partition.NewTwoDim(pcfg)
+		case "grid":
+			p, err = partition.NewGrid(pcfg)
+		case "greedy":
+			p, err = partition.NewGreedy(pcfg)
+		case "dbh":
+			p, err = partition.NewDBH(pcfg)
+		case "hdrf":
+			p, err = partition.NewHDRF(pcfg, partition.HDRFDefaultLambda)
+		default:
+			return nil, fmt.Errorf("bench: unknown baseline %q", name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return core.StreamingRunner(p), nil
+	}
+	start := time.Now()
+	a, err := core.RunSpotlight(edges, c.spotlightConfig(), build)
+	if err != nil {
+		return StrategyResult{}, fmt.Errorf("bench: running %s: %w", name, err)
+	}
+	return StrategyResult{
+		Name:       name,
+		Latency:    time.Since(start),
+		Summary:    metrics.Summarize(a),
+		Assignment: a,
+	}, nil
+}
+
+// adwiseOptions assembles the per-instance ADWISE options for a run with
+// latency preference latencyPref.
+func (c Config) adwiseOptions(preset gen.Preset, latencyPref time.Duration, chunkEdges int64) []core.Option {
+	opts := []core.Option{
+		WithPresetClustering(preset),
+		core.WithLatencyPreference(latencyPref),
+		core.WithTotalEdgesHint(chunkEdges),
+	}
+	return opts
+}
+
+// WithPresetClustering disables the clustering score on Orkut, as the
+// paper does ("Orkut has a low clustering coefficient, so that the
+// clustering score in ADWISE is not effective and, hence, was switched off
+// for this graph").
+func WithPresetClustering(preset gen.Preset) core.Option {
+	return core.WithClusteringScore(preset != gen.PresetOrkut)
+}
+
+// runADWISE partitions edges with ADWISE at the given latency preference
+// under the parallel-loading setup. Each of the Z instances adapts its own
+// window against the shared deadline L.
+func (c Config) runADWISE(preset gen.Preset, edges []graph.Edge, latencyPref time.Duration) (StrategyResult, error) {
+	chunkEdges := int64(len(edges)/c.Z + 1)
+	build := func(i int, allowed []int) (core.Runner, error) {
+		return core.New(c.K, append(c.adwiseOptions(preset, latencyPref, chunkEdges),
+			core.WithAllowedPartitions(allowed))...)
+	}
+	start := time.Now()
+	a, err := core.RunSpotlight(edges, c.spotlightConfig(), build)
+	if err != nil {
+		return StrategyResult{}, fmt.Errorf("bench: running adwise(L=%v): %w", latencyPref, err)
+	}
+	return StrategyResult{
+		Name:        "adwise",
+		LatencyPref: latencyPref,
+		Latency:     time.Since(start),
+		Summary:     metrics.Summarize(a),
+		Assignment:  a,
+	}, nil
+}
+
+// partitionSweep runs the Figure 7 strategy set on edges: DBH, HDRF, then
+// ADWISE at every configured latency multiple of the measured HDRF
+// latency.
+func (c Config) partitionSweep(preset gen.Preset, edges []graph.Edge) ([]StrategyResult, error) {
+	results := make([]StrategyResult, 0, 2+len(c.LatencyMultipliers))
+	for _, name := range []string{"dbh", "hdrf"} {
+		r, err := c.runBaseline(name, edges)
+		if err != nil {
+			return nil, err
+		}
+		c.progressf("  %s: RF=%.3f lat=%v", name, r.Summary.ReplicationDegree, r.Latency.Round(time.Millisecond))
+		results = append(results, r)
+	}
+	hdrfLatency := results[1].Latency
+	for _, mult := range c.LatencyMultipliers {
+		l := time.Duration(float64(hdrfLatency) * mult)
+		r, err := c.runADWISE(preset, edges, l)
+		if err != nil {
+			return nil, err
+		}
+		c.progressf("  adwise(L=%v): RF=%.3f lat=%v", l.Round(time.Millisecond), r.Summary.ReplicationDegree, r.Latency.Round(time.Millisecond))
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// label renders the strategy name with its latency preference.
+func (r StrategyResult) label() string {
+	if r.LatencyPref == 0 {
+		return r.Name
+	}
+	return fmt.Sprintf("%s L=%s", r.Name, formatDuration(r.LatencyPref))
+}

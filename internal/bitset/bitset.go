@@ -1,0 +1,214 @@
+// Package bitset provides compact fixed-capacity bit sets used to track
+// vertex replica sets across partitions.
+//
+// Partition counts in streaming edge partitioning are small (tens to a few
+// hundred), so a replica set is represented as a small slice of 64-bit
+// words. The zero value of Set is an empty set with capacity zero; use New
+// to size it for a partition count.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set. Bits are indexed from 0.
+// The zero value is an empty set that cannot hold any bits; create sets
+// with New.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty set able to hold bits 0..n-1.
+func New(n int) Set {
+	if n < 0 {
+		n = 0
+	}
+	return Set{
+		words: make([]uint64, (n+wordBits-1)/wordBits),
+		n:     n,
+	}
+}
+
+// Cap returns the capacity of the set in bits.
+func (s Set) Cap() int { return s.n }
+
+// Contains reports whether bit i is set. Out-of-range indices are reported
+// as absent.
+func (s Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Add sets bit i and reports whether the set changed. Out-of-range indices
+// are ignored and report false.
+func (s *Set) Add(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	w, m := i/wordBits, uint64(1)<<uint(i%wordBits)
+	if s.words[w]&m != 0 {
+		return false
+	}
+	s.words[w] |= m
+	return true
+}
+
+// Remove clears bit i and reports whether the set changed.
+func (s *Set) Remove(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	w, m := i/wordBits, uint64(1)<<uint(i%wordBits)
+	if s.words[w]&m == 0 {
+		return false
+	}
+	s.words[w] &^= m
+	return true
+}
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no bits are set.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all bits from the set.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Set{words: w, n: s.n}
+}
+
+// Equal reports whether both sets have identical capacity and members.
+func (s Set) Equal(t Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectCount returns |s ∩ t| considering the common capacity prefix.
+func (s Set) IntersectCount(t Set) int {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// Intersects reports whether s and t share at least one member.
+func (s Set) Intersects(t Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// UnionCount returns |s ∪ t|.
+func (s Set) UnionCount(t Set) int {
+	long, short := s.words, t.words
+	if len(long) < len(short) {
+		long, short = short, long
+	}
+	c := 0
+	for i, w := range long {
+		if i < len(short) {
+			w |= short[i]
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ForEach calls fn for every set bit in ascending order. Iteration stops
+// early if fn returns false.
+func (s Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Members returns the set bits in ascending order.
+func (s Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Min returns the smallest member, or -1 if the set is empty.
+func (s Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// String renders the set as "{1, 4, 7}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,251 @@
+package bitset
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(128)
+	if got := s.Count(); got != 0 {
+		t.Errorf("Count() = %d, want 0", got)
+	}
+	if !s.Empty() {
+		t.Error("Empty() = false, want true")
+	}
+	if got := s.Cap(); got != 128 {
+		t.Errorf("Cap() = %d, want 128", got)
+	}
+}
+
+func TestNewNegativeCapacity(t *testing.T) {
+	s := New(-5)
+	if got := s.Cap(); got != 0 {
+		t.Errorf("Cap() = %d, want 0", got)
+	}
+	if s.Add(0) {
+		t.Error("Add(0) on zero-capacity set reported a change")
+	}
+}
+
+func TestAddContains(t *testing.T) {
+	s := New(100)
+	for _, i := range []int{0, 1, 63, 64, 65, 99} {
+		if !s.Add(i) {
+			t.Errorf("Add(%d) = false on first add", i)
+		}
+		if !s.Contains(i) {
+			t.Errorf("Contains(%d) = false after Add", i)
+		}
+		if s.Add(i) {
+			t.Errorf("Add(%d) = true on second add", i)
+		}
+	}
+	if got := s.Count(); got != 6 {
+		t.Errorf("Count() = %d, want 6", got)
+	}
+}
+
+func TestAddOutOfRange(t *testing.T) {
+	s := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		if s.Add(i) {
+			t.Errorf("Add(%d) out of range reported a change", i)
+		}
+		if s.Contains(i) {
+			t.Errorf("Contains(%d) out of range = true", i)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := New(70)
+	s.Add(5)
+	s.Add(69)
+	if !s.Remove(5) {
+		t.Error("Remove(5) = false on member")
+	}
+	if s.Contains(5) {
+		t.Error("Contains(5) = true after Remove")
+	}
+	if s.Remove(5) {
+		t.Error("Remove(5) = true on non-member")
+	}
+	if got := s.Count(); got != 1 {
+		t.Errorf("Count() = %d, want 1", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := New(64)
+	for i := 0; i < 64; i += 3 {
+		s.Add(i)
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Error("Empty() = false after Clear")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(32)
+	s.Add(3)
+	c := s.Clone()
+	c.Add(4)
+	if s.Contains(4) {
+		t.Error("mutating clone affected original")
+	}
+	if !c.Contains(3) {
+		t.Error("clone lost member 3")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(65), New(65)
+	a.Add(64)
+	b.Add(64)
+	if !a.Equal(b) {
+		t.Error("Equal = false for identical sets")
+	}
+	b.Add(0)
+	if a.Equal(b) {
+		t.Error("Equal = true for different sets")
+	}
+	c := New(64)
+	if a.Equal(c) {
+		t.Error("Equal = true for different capacities")
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a, b := New(128), New(128)
+	for _, i := range []int{1, 5, 64, 100} {
+		a.Add(i)
+	}
+	for _, i := range []int{5, 64, 101} {
+		b.Add(i)
+	}
+	if got := a.IntersectCount(b); got != 2 {
+		t.Errorf("IntersectCount = %d, want 2", got)
+	}
+	if got := a.UnionCount(b); got != 5 {
+		t.Errorf("UnionCount = %d, want 5", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false, want true")
+	}
+	c := New(128)
+	c.Add(2)
+	if a.Intersects(c) {
+		t.Error("Intersects = true for disjoint sets")
+	}
+}
+
+func TestMembersSortedAndMin(t *testing.T) {
+	s := New(200)
+	want := []int{0, 17, 63, 64, 128, 199}
+	for _, i := range []int{199, 0, 64, 17, 128, 63} {
+		s.Add(i)
+	}
+	got := s.Members()
+	if len(got) != len(want) {
+		t.Fatalf("Members() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members() = %v, want %v", got, want)
+		}
+	}
+	if got := s.Min(); got != 0 {
+		t.Errorf("Min() = %d, want 0", got)
+	}
+	if got := New(10).Min(); got != -1 {
+		t.Errorf("Min() on empty = %d, want -1", got)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := New(64)
+	for i := 0; i < 10; i++ {
+		s.Add(i)
+	}
+	calls := 0
+	s.ForEach(func(i int) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Errorf("ForEach visited %d members after early stop, want 3", calls)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Add(1)
+	s.Add(4)
+	s.Add(7)
+	if got, want := s.String(), "{1, 4, 7}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got, want := New(4).String(), "{}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: Count equals the cardinality of the reference map model under
+// any sequence of adds and removes.
+func TestQuickAgainstMapModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const capBits = 300
+		s := New(capBits)
+		model := make(map[int]bool)
+		for _, op := range ops {
+			i := int(op) % capBits
+			if op%2 == 0 {
+				s.Add(i)
+				model[i] = true
+			} else {
+				s.Remove(i)
+				delete(model, i)
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		for i := range model {
+			if !s.Contains(i) {
+				return false
+			}
+		}
+		for _, m := range s.Members() {
+			if !model[m] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |A∪B| + |A∩B| == |A| + |B| (inclusion-exclusion).
+func TestQuickInclusionExclusion(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 100; trial++ {
+		a, b := New(256), New(256)
+		for i := 0; i < 256; i++ {
+			if rng.Float64() < 0.3 {
+				a.Add(i)
+			}
+			if rng.Float64() < 0.3 {
+				b.Add(i)
+			}
+		}
+		if a.UnionCount(b)+a.IntersectCount(b) != a.Count()+b.Count() {
+			t.Fatalf("inclusion-exclusion violated: |A∪B|=%d |A∩B|=%d |A|=%d |B|=%d",
+				a.UnionCount(b), a.IntersectCount(b), a.Count(), b.Count())
+		}
+	}
+}

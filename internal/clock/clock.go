@@ -1,0 +1,63 @@
+// Package clock abstracts time so that latency-driven control loops — in
+// particular the ADWISE adaptive window condition (C2) — can be tested
+// deterministically with a fake clock and run in production against the
+// real one.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	// Now returns the current time according to this clock.
+	Now() time.Time
+}
+
+// Real is a Clock backed by the system wall clock. The zero value is ready
+// to use.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Fake is a manually advanced Clock for tests. The zero value starts at the
+// zero time; use NewFake to pick an epoch. Fake is safe for concurrent use.
+type Fake struct {
+	mu  sync.Mutex
+	now time.Time
+	// Step, if non-zero, is added to the clock on every Now call, modelling
+	// work that takes a fixed amount of time per observation.
+	step time.Duration
+}
+
+// NewFake returns a Fake clock reading t.
+func NewFake(t time.Time) *Fake {
+	return &Fake{now: t}
+}
+
+// Now implements Clock. If a step is configured, the clock auto-advances by
+// that step after each reading.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := f.now
+	f.now = f.now.Add(f.step)
+	return t
+}
+
+// Advance moves the clock forward by d.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+// SetStep configures the auto-advance step applied on every Now call.
+// A zero step disables auto-advance.
+func (f *Fake) SetStep(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.step = d
+}

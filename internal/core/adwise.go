@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/adwise-go/adwise/internal/clock"
+	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/stream"
+	"github.com/adwise-go/adwise/internal/vcache"
+)
+
+// Defaults for the tunables of §III. The paper fixes ε ∈ [0,1] "small" for
+// the candidate threshold and clamps λ to [0.4, 5] (Eq. 4).
+const (
+	DefaultEpsilon       = 0.1
+	DefaultBalanceEps    = 1.0
+	DefaultLambdaMin     = 0.4
+	DefaultLambdaMax     = 5.0
+	DefaultInitialLambda = 1.0
+	DefaultMaxWindow     = 1 << 14
+	DefaultMaxCandidates = 64
+)
+
+type config struct {
+	k             int
+	allowed       []int
+	latencyPref   time.Duration // L; 0 means "as fast as possible" → single-edge behaviour
+	clk           clock.Clock
+	epsilon       float64 // ε in Θ = g_avg + ε
+	balanceEps    float64 // ε in Eq. 3
+	initialLambda float64
+	lambdaMin     float64
+	lambdaMax     float64
+	clustering    bool
+	initialWindow int
+	maxWindow     int
+	fixedWindow   bool // disable adaptation (ablation)
+	maxCandidates int
+	lazy          bool  // lazy window traversal; eager rescans everything (ablation)
+	totalEdges    int64 // m hint when the stream cannot report it
+}
+
+// Option configures an ADWISE partitioner.
+type Option func(*config)
+
+// WithLatencyPreference sets the partitioning latency preference L: the
+// adaptive window grows only while the run is on track to finish within L
+// (condition C2). Zero keeps the window at its initial size floor,
+// degenerating to single-edge streaming as described in §III-A.
+func WithLatencyPreference(l time.Duration) Option {
+	return func(c *config) { c.latencyPref = l }
+}
+
+// WithClock substitutes the time source used for latency accounting;
+// tests use a fake clock to drive the adaptation deterministically.
+func WithClock(clk clock.Clock) Option {
+	return func(c *config) { c.clk = clk }
+}
+
+// WithEpsilon sets ε in the candidate threshold Θ = g_avg + ε.
+func WithEpsilon(eps float64) Option {
+	return func(c *config) { c.epsilon = eps }
+}
+
+// WithClusteringScore toggles the clustering score CS (Eq. 6). The paper
+// switches it off for graphs with negligible clustering (Orkut).
+func WithClusteringScore(on bool) Option {
+	return func(c *config) { c.clustering = on }
+}
+
+// WithAllowedPartitions restricts assignments to a subset of partitions —
+// the spotlight spread (§III-D).
+func WithAllowedPartitions(parts []int) Option {
+	return func(c *config) { c.allowed = parts }
+}
+
+// WithInitialLambda sets the starting balancing weight λ.
+func WithInitialLambda(l float64) Option {
+	return func(c *config) { c.initialLambda = l }
+}
+
+// WithLambdaBounds overrides the λ clamp interval (paper: [0.4, 5]).
+func WithLambdaBounds(lo, hi float64) Option {
+	return func(c *config) { c.lambdaMin, c.lambdaMax = lo, hi }
+}
+
+// WithFixedLambda pins λ to the given value by collapsing the clamp
+// interval — the "fixed λ" ablation, matching HDRF's static parameter.
+func WithFixedLambda(l float64) Option {
+	return func(c *config) {
+		c.initialLambda = l
+		c.lambdaMin, c.lambdaMax = l, l
+	}
+}
+
+// WithInitialWindow sets the starting window size (default 1, as in
+// Algorithm 1). The window never shrinks below this size, so a fixed-size
+// window can be emulated together with WithFixedWindow.
+func WithInitialWindow(w int) Option {
+	return func(c *config) { c.initialWindow = w }
+}
+
+// WithMaxWindow caps the window size.
+func WithMaxWindow(w int) Option {
+	return func(c *config) { c.maxWindow = w }
+}
+
+// WithFixedWindow disables the adaptive sizing entirely, keeping the
+// window at its initial size — the fixed-window ablation.
+func WithFixedWindow() Option {
+	return func(c *config) { c.fixedWindow = true }
+}
+
+// WithMaxCandidates bounds the lazy-traversal candidate set |C|.
+func WithMaxCandidates(n int) Option {
+	return func(c *config) { c.maxCandidates = n }
+}
+
+// WithEagerTraversal disables lazy traversal: every window edge is
+// re-scored on every assignment (the O(w·|P|) baseline of §III-B, used by
+// the lazy-vs-eager ablation).
+func WithEagerTraversal() Option {
+	return func(c *config) { c.lazy = false }
+}
+
+// WithTotalEdgesHint supplies m (the stream length) when the stream cannot
+// report it; Eq. 4's progress term α and condition C2 depend on it.
+func WithTotalEdgesHint(m int64) Option {
+	return func(c *config) { c.totalEdges = m }
+}
+
+// Adwise is the ADWISE streaming partitioner. An instance carries the
+// vertex cache accumulated over one stream pass; create a fresh instance
+// per Run.
+type Adwise struct {
+	cfg    config
+	parts  []int
+	cache  *vcache.Cache
+	scorer *scorer
+	win    *window
+	stats  RunStats
+	ran    bool
+}
+
+// RunStats reports what one partitioning pass did.
+type RunStats struct {
+	// Assignments is the number of edges assigned.
+	Assignments int64
+	// ScoreComputations counts edge score evaluations (each covering all
+	// allowed partitions).
+	ScoreComputations int64
+	// PartitioningLatency is the wall-clock (or fake-clock) duration of
+	// the pass.
+	PartitioningLatency time.Duration
+	// FinalWindow and PeakWindow describe the adaptive window trajectory.
+	FinalWindow, PeakWindow int
+	// WindowTrace records every window resize as (edge index, new size).
+	WindowTrace []WindowChange
+	// FinalLambda is λ after the last assignment.
+	FinalLambda float64
+	// MeanAssignScore is the average g(ê,p̂) over all assignments.
+	MeanAssignScore float64
+	// Lazy-traversal counters.
+	Promotions, Demotions, Reassessments, SecondaryRescans int64
+}
+
+// WindowChange is one adaptive window resize event.
+type WindowChange struct {
+	AtEdge  int64
+	NewSize int
+}
+
+// New returns an ADWISE partitioner for k partitions.
+func New(k int, opts ...Option) (*Adwise, error) {
+	cfg := config{
+		k:             k,
+		clk:           clock.Real{},
+		epsilon:       DefaultEpsilon,
+		balanceEps:    DefaultBalanceEps,
+		initialLambda: DefaultInitialLambda,
+		lambdaMin:     DefaultLambdaMin,
+		lambdaMax:     DefaultLambdaMax,
+		clustering:    true,
+		initialWindow: 1,
+		maxWindow:     DefaultMaxWindow,
+		maxCandidates: DefaultMaxCandidates,
+		lazy:          true,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: partition count must be >= 1, got %d", k)
+	}
+	for _, p := range cfg.allowed {
+		if p < 0 || p >= k {
+			return nil, fmt.Errorf("core: allowed partition %d outside [0,%d)", p, k)
+		}
+	}
+	if cfg.initialWindow < 1 {
+		return nil, fmt.Errorf("core: initial window must be >= 1, got %d", cfg.initialWindow)
+	}
+	if cfg.maxWindow < cfg.initialWindow {
+		return nil, fmt.Errorf("core: max window %d below initial window %d", cfg.maxWindow, cfg.initialWindow)
+	}
+	if cfg.maxCandidates < 1 {
+		return nil, fmt.Errorf("core: max candidates must be >= 1, got %d", cfg.maxCandidates)
+	}
+	if cfg.epsilon < 0 || cfg.epsilon > 1 {
+		return nil, fmt.Errorf("core: epsilon %v outside [0,1]", cfg.epsilon)
+	}
+	if cfg.lambdaMin > cfg.lambdaMax {
+		return nil, fmt.Errorf("core: lambda bounds inverted [%v,%v]", cfg.lambdaMin, cfg.lambdaMax)
+	}
+	parts := cfg.allowed
+	if len(parts) == 0 {
+		parts = make([]int, k)
+		for i := range parts {
+			parts[i] = i
+		}
+	}
+	cache := vcache.New(k)
+	sc := newScorer(cache, parts, cfg)
+	maxCand := cfg.maxCandidates
+	if !cfg.lazy {
+		// Eager traversal: every edge is a candidate, re-scored each pop.
+		maxCand = int(^uint(0) >> 1)
+	}
+	return &Adwise{
+		cfg:    cfg,
+		parts:  parts,
+		cache:  cache,
+		scorer: sc,
+		win:    newWindow(sc, cfg.epsilon, maxCand, !cfg.lazy),
+	}, nil
+}
+
+// Cache exposes the vertex cache (for metrics and tests).
+func (a *Adwise) Cache() *vcache.Cache { return a.cache }
+
+// Stats returns the statistics of the completed Run.
+func (a *Adwise) Stats() RunStats { return a.stats }
+
+// Name identifies the strategy.
+func (a *Adwise) Name() string { return "adwise" }
+
+// Run consumes the stream and returns the assignment. It implements
+// Algorithm 1: fill the window, repeatedly assign the best-scoring edge,
+// and adapt the window size every w assignments via conditions (C1) and
+// (C2). Run may be called once per instance.
+func (a *Adwise) Run(s stream.Stream) (*metrics.Assignment, error) {
+	if a.ran {
+		return nil, fmt.Errorf("core: Adwise instance already ran; create a new instance per pass")
+	}
+	a.ran = true
+
+	hint := s.Remaining()
+	if hint < 0 {
+		hint = 1024
+	}
+	if a.scorer.totalEdges <= 0 && s.Remaining() >= 0 {
+		a.scorer.totalEdges = s.Remaining()
+	}
+	totalEdges := a.scorer.totalEdges
+
+	asn := metrics.NewAssignment(a.cfg.k, int(hint))
+
+	start := a.cfg.clk.Now()
+	deadline := start.Add(a.cfg.latencyPref)
+
+	w := a.cfg.initialWindow
+	a.stats.PeakWindow = w
+
+	// (C1) bookkeeping: average assignment score of the current and the
+	// previous adaptation period.
+	var (
+		periodScore   float64
+		periodCount   int64
+		prevAvgScore  float64
+		havePrevAvg   bool
+		periodStart   = start
+		totalScoreSum float64
+	)
+
+	refill := func() {
+		for a.win.len() < w {
+			e, ok := s.Next()
+			if !ok {
+				return
+			}
+			a.win.add(e)
+		}
+	}
+
+	refill()
+	for a.win.len() > 0 {
+		e, p, gBest, ok := a.win.popBest()
+		if !ok {
+			break
+		}
+		newSrc, newDst := a.scorer.commit(e, p)
+		asn.Add(e, p)
+		a.stats.Assignments++
+		// The popped entry's score is the g(ê,p̂) that drives (C1).
+		periodScore += gBest
+		totalScoreSum += gBest
+		periodCount++
+
+		if a.cfg.lazy {
+			if newSrc {
+				a.win.reassess(e.Src)
+			}
+			if newDst && e.Dst != e.Src {
+				a.win.reassess(e.Dst)
+			}
+		}
+
+		// Adaptive window check every w assignments (Alg. 1 lines 11-16).
+		if !a.cfg.fixedWindow && periodCount >= int64(w) {
+			now := a.cfg.clk.Now()
+			elapsed := now.Sub(periodStart)
+			latPerEdge := elapsed / time.Duration(periodCount)
+
+			curAvg := periodScore / float64(periodCount)
+			c1 := !havePrevAvg || curAvg >= prevAvgScore
+			c2 := a.c2(now, deadline, latPerEdge, s, totalEdges)
+
+			switch {
+			case c1 && c2 && w < a.cfg.maxWindow:
+				w *= 2
+				if w > a.cfg.maxWindow {
+					w = a.cfg.maxWindow
+				}
+				a.recordResize(w)
+			case !c2 && w > a.cfg.initialWindow:
+				w /= 2
+				if w < a.cfg.initialWindow {
+					w = a.cfg.initialWindow
+				}
+				a.recordResize(w)
+			}
+			prevAvgScore, havePrevAvg = curAvg, true
+			periodScore, periodCount = 0, 0
+			periodStart = now
+		}
+		refill()
+	}
+
+	a.stats.FinalWindow = w
+	a.stats.PartitioningLatency = a.cfg.clk.Now().Sub(start)
+	a.stats.ScoreComputations = a.scorer.scoreOps
+	a.stats.FinalLambda = a.scorer.lambda
+	if a.stats.Assignments > 0 {
+		a.stats.MeanAssignScore = totalScoreSum / float64(a.stats.Assignments)
+	}
+	a.stats.Promotions = a.win.promotions
+	a.stats.Demotions = a.win.demotions
+	a.stats.Reassessments = a.win.reassessments
+	a.stats.SecondaryRescans = a.win.rescans
+	return asn, nil
+}
+
+// c2 evaluates condition (C2): the latency preference can still be met,
+// i.e. lat_w < L′/|E′| with L′ the time left until the deadline and |E′|
+// the edges still to assign (stream remainder plus window fill).
+func (a *Adwise) c2(now, deadline time.Time, latPerEdge time.Duration, s stream.Stream, totalEdges int64) bool {
+	if a.cfg.latencyPref <= 0 {
+		return false
+	}
+	left := deadline.Sub(now)
+	if left <= 0 {
+		return false
+	}
+	remaining := s.Remaining()
+	if remaining < 0 {
+		if totalEdges > 0 {
+			remaining = totalEdges - a.stats.Assignments
+		} else {
+			remaining = 0
+		}
+	}
+	remaining += int64(a.win.len())
+	if remaining <= 0 {
+		return true
+	}
+	budgetPerEdge := left / time.Duration(remaining)
+	return latPerEdge < budgetPerEdge
+}
+
+func (a *Adwise) recordResize(newSize int) {
+	if newSize > a.stats.PeakWindow {
+		a.stats.PeakWindow = newSize
+	}
+	a.stats.WindowTrace = append(a.stats.WindowTrace, WindowChange{
+		AtEdge:  a.stats.Assignments,
+		NewSize: newSize,
+	})
+}

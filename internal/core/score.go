@@ -1,0 +1,147 @@
+// Package core implements ADWISE, the adaptive window-based streaming
+// edge partitioner of the paper (§III), together with the spotlight
+// optimization for parallel loading (§III-D).
+package core
+
+import (
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/vcache"
+)
+
+// Scoring function of §III-C:
+//
+//	g(e,p) = λ(ι,α)·B(p) + R(e,p) + CS(e,p)          (Eq. 7)
+//
+// with the adaptive balancing score B and weight λ (Eq. 3, 4), the
+// degree-aware replication score R (Eq. 5) and the clustering score CS
+// (Eq. 6).
+
+// scorer evaluates g(e,p) against a vertex cache and maintains the
+// adaptive balancing weight λ.
+type scorer struct {
+	cache *vcache.Cache
+	parts []int // allowed partitions (spotlight spread)
+
+	lambda     float64
+	lambdaMin  float64
+	lambdaMax  float64
+	balanceEps float64 // ε in Eq. 3
+	clustering bool
+
+	totalEdges int64 // m in Eq. 4; <= 0 means unknown
+
+	// scratch buffers, reused across calls
+	csCounts []float64 // per-partition clustering-score counters
+	scores   []float64 // per-allowed-partition scores
+	scoreOps int64     // number of edge score evaluations (each covers all partitions)
+}
+
+func newScorer(cache *vcache.Cache, parts []int, cfg config) *scorer {
+	return &scorer{
+		cache:      cache,
+		parts:      parts,
+		lambda:     cfg.initialLambda,
+		lambdaMin:  cfg.lambdaMin,
+		lambdaMax:  cfg.lambdaMax,
+		balanceEps: cfg.balanceEps,
+		clustering: cfg.clustering,
+		totalEdges: cfg.totalEdges,
+		csCounts:   make([]float64, cache.K()),
+		scores:     make([]float64, len(parts)),
+	}
+}
+
+// scoreEdge computes g(e,p) for every allowed partition and returns the
+// best score and its (global) partition id. neighbors is the window
+// neighbourhood N(u)∪N(v) of the edge (excluding the endpoints
+// themselves); it drives the clustering score of Eq. 6.
+//
+// The returned slice aliases internal scratch and is only valid until the
+// next scoreEdge call.
+func (s *scorer) scoreEdge(e graph.Edge, neighbors []graph.VertexID) (scores []float64, best float64, bestPart int) {
+	s.scoreOps++
+	minSize, maxSize := s.cache.MinMaxSizeOf(s.parts)
+	sizeSpread := float64(maxSize-minSize) + s.balanceEps
+
+	// Degree-aware replication score (Eq. 5): Ψu = deg(u)/(2·maxDegree),
+	// so already-replicated low-degree endpoints pull harder (2−Ψ larger)
+	// than high-degree ones — replicating high-degree vertices first.
+	maxDeg := float64(s.cache.MaxDegree())
+	degU, ru := s.cache.Lookup(e.Src)
+	degV, rv := s.cache.Lookup(e.Dst)
+	psiU := float64(degU) / (2 * maxDeg)
+	psiV := float64(degV) / (2 * maxDeg)
+
+	// Clustering score (Eq. 6): per-partition count of window neighbours
+	// already replicated there, normalised by |N(u)∪N(v)|.
+	useCS := s.clustering && len(neighbors) > 0
+	if useCS {
+		for _, p := range s.parts {
+			s.csCounts[p] = 0
+		}
+		for _, n := range neighbors {
+			s.cache.Replicas(n).ForEach(func(p int) bool {
+				s.csCounts[p]++
+				return true
+			})
+		}
+	}
+
+	invN := 0.0
+	if useCS {
+		invN = 1 / float64(len(neighbors))
+	}
+	best, bestPart = -1, s.parts[0]
+	for i, p := range s.parts {
+		bal := float64(maxSize-s.cache.Size(p)) / sizeSpread
+		g := s.lambda * bal
+		if ru.Contains(p) {
+			g += 2 - psiU
+		}
+		if e.Dst != e.Src && rv.Contains(p) {
+			g += 2 - psiV
+		}
+		if useCS {
+			g += s.csCounts[p] * invN
+		}
+		s.scores[i] = g
+		if g > best {
+			best, bestPart = g, p
+		}
+	}
+	return s.scores, best, bestPart
+}
+
+// commit records the assignment of e to partition p in the vertex cache
+// and performs the per-assignment λ update of Eq. 4. It reports which
+// endpoints gained a new replica (these drive lazy reassessment, §III-B).
+func (s *scorer) commit(e graph.Edge, p int) (newSrc, newDst bool) {
+	newSrc, newDst = s.cache.Assign(e, p)
+
+	// Adaptive balancing (Eq. 4): λ += ι − tolerance(α) with
+	// tolerance(α) = max(0, 1−α), clamped to [λmin, λmax].
+	minSize, maxSize := s.cache.MinMaxSizeOf(s.parts)
+	var iota float64
+	if maxSize > 0 {
+		iota = float64(maxSize-minSize) / float64(maxSize)
+	}
+	alpha := 1.0
+	if s.totalEdges > 0 {
+		alpha = float64(s.cache.Assigned()) / float64(s.totalEdges)
+		if alpha > 1 {
+			alpha = 1
+		}
+	}
+	tolerance := 1 - alpha
+	if tolerance < 0 {
+		tolerance = 0
+	}
+	s.lambda += iota - tolerance
+	if s.lambda < s.lambdaMin {
+		s.lambda = s.lambdaMin
+	}
+	if s.lambda > s.lambdaMax {
+		s.lambda = s.lambdaMax
+	}
+	return newSrc, newDst
+}

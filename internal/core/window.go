@@ -1,0 +1,346 @@
+package core
+
+import (
+	"github.com/adwise-go/adwise/internal/graph"
+)
+
+// window implements the edge window with lazy traversal (§III-B): edges are
+// split into a candidate set C of high-score edges and a secondary set Q.
+// Per assignment only C is (re-)scored; Q is touched when C runs dry or
+// when an incident vertex's replica set changes.
+//
+// The score threshold Θ = g_avg + ε tracks the mean cached score of window
+// edges, so only better-than-average edges become candidates.
+
+type setKind uint8
+
+const (
+	inCandidates setKind = iota
+	inSecondary
+	removed
+)
+
+type winEntry struct {
+	edge  graph.Edge
+	score float64 // cached max_p g(edge, p)
+	part  int     // cached argmax partition (global id)
+	kind  setKind
+	pos   int // index within its set slice, for O(1) swap-removal
+}
+
+type window struct {
+	sc *scorer
+
+	candidates []*winEntry
+	secondary  []*winEntry
+	// incident maps a vertex to the window entries of its incident edges.
+	// Entries are removed lazily: slices may hold removed entries that are
+	// compacted during iteration.
+	incident map[graph.VertexID][]*winEntry
+
+	scoreSum float64 // Σ cached scores over live entries (for Θ)
+	epsilon  float64 // ε in Θ = g_avg + ε
+	maxCand  int     // bound on |C|; DESIGN.md documents this engineering cap
+	// eager disables lazy traversal: every window edge is a candidate and
+	// all of them are re-scored on every pop — the O(w·|P|) baseline the
+	// paper's §III-B improves on. Used by the lazy-vs-eager ablation.
+	eager bool
+
+	neighborScratch []graph.VertexID
+	seenScratch     map[graph.VertexID]struct{}
+
+	// statistics
+	promotions, demotions, reassessments, rescans int64
+}
+
+func newWindow(sc *scorer, epsilon float64, maxCand int, eager bool) *window {
+	return &window{
+		sc:          sc,
+		incident:    make(map[graph.VertexID][]*winEntry, 256),
+		epsilon:     epsilon,
+		maxCand:     maxCand,
+		eager:       eager,
+		seenScratch: make(map[graph.VertexID]struct{}, 64),
+	}
+}
+
+func (w *window) len() int { return len(w.candidates) + len(w.secondary) }
+
+// theta returns the candidate threshold Θ = g_avg + ε over live entries.
+func (w *window) theta() float64 {
+	n := w.len()
+	if n == 0 {
+		return w.epsilon
+	}
+	return w.scoreSum/float64(n) + w.epsilon
+}
+
+// neighbors collects the window neighbourhood N(u)∪N(v) of e: the distinct
+// other-endpoints of live window edges incident to e's endpoints,
+// excluding u and v themselves. Used by the clustering score (Eq. 6); the
+// paper computes N only from window edges for scalability.
+func (w *window) neighbors(e graph.Edge) []graph.VertexID {
+	w.neighborScratch = w.neighborScratch[:0]
+	clear(w.seenScratch)
+	w.seenScratch[e.Src] = struct{}{}
+	w.seenScratch[e.Dst] = struct{}{}
+	collect := func(v graph.VertexID) {
+		for _, ent := range w.iterIncident(v) {
+			n := ent.edge.Other(v)
+			if _, dup := w.seenScratch[n]; dup {
+				continue
+			}
+			w.seenScratch[n] = struct{}{}
+			w.neighborScratch = append(w.neighborScratch, n)
+		}
+	}
+	collect(e.Src)
+	if e.Dst != e.Src {
+		collect(e.Dst)
+	}
+	return w.neighborScratch
+}
+
+// iterIncident returns the live entries incident to v, compacting removed
+// entries in place.
+func (w *window) iterIncident(v graph.VertexID) []*winEntry {
+	list, ok := w.incident[v]
+	if !ok {
+		return nil
+	}
+	live := list[:0]
+	for _, ent := range list {
+		if ent.kind != removed {
+			live = append(live, ent)
+		}
+	}
+	if len(live) == 0 {
+		delete(w.incident, v)
+		return nil
+	}
+	w.incident[v] = live
+	return live
+}
+
+// add inserts a fresh stream edge into the window: score it once, classify
+// against Θ (§III-B step 1). In eager mode everything is a candidate.
+func (w *window) add(e graph.Edge) {
+	_, best, part := w.sc.scoreEdge(e, w.neighbors(e))
+	ent := &winEntry{edge: e, score: best, part: part}
+	if w.eager || (best > w.theta() && len(w.candidates) < w.maxCand) {
+		w.pushCandidate(ent)
+	} else {
+		w.pushSecondary(ent)
+	}
+	w.scoreSum += best
+	w.incident[e.Src] = append(w.incident[e.Src], ent)
+	if e.Dst != e.Src {
+		w.incident[e.Dst] = append(w.incident[e.Dst], ent)
+	}
+}
+
+func (w *window) pushCandidate(ent *winEntry) {
+	ent.kind = inCandidates
+	ent.pos = len(w.candidates)
+	w.candidates = append(w.candidates, ent)
+}
+
+func (w *window) pushSecondary(ent *winEntry) {
+	ent.kind = inSecondary
+	ent.pos = len(w.secondary)
+	w.secondary = append(w.secondary, ent)
+}
+
+// detach removes ent from its current set slice (but not from incident
+// lists — those are compacted lazily).
+func (w *window) detach(ent *winEntry) {
+	var set *[]*winEntry
+	switch ent.kind {
+	case inCandidates:
+		set = &w.candidates
+	case inSecondary:
+		set = &w.secondary
+	default:
+		return
+	}
+	s := *set
+	last := len(s) - 1
+	s[ent.pos] = s[last]
+	s[ent.pos].pos = ent.pos
+	*set = s[:last]
+}
+
+// remove detaches ent and marks it dead.
+func (w *window) remove(ent *winEntry) {
+	w.detach(ent)
+	ent.kind = removed
+	w.scoreSum -= ent.score
+}
+
+// updateScore refreshes ent's cached score in place, keeping scoreSum
+// consistent.
+func (w *window) updateScore(ent *winEntry, score float64, part int) {
+	w.scoreSum += score - ent.score
+	ent.score, ent.part = score, part
+}
+
+// popBest implements GETBESTASSIGNMENT's search (Alg. 1 line 9) with lazy
+// traversal: only candidates are considered, falling back to a full
+// secondary rescan when the candidate set is empty. The returned entry is
+// removed from the window; the winning score g(ê,p̂) is reported for the
+// (C1) bookkeeping of the adaptive window.
+//
+// Candidate selection itself is lazy too: cached scores order the
+// candidates (a float comparison scan, no score computation) and only the
+// argmax is re-scored. Because replica sets only grow and the balance term
+// drifts slowly, a candidate's score rarely drops; when the fresh score
+// does fall below the runner-up's cached score, the cache is updated and
+// the selection retries, degenerating to a bounded number of re-scorings
+// per pop — this is the "high-score edges in one window are likely to
+// remain high-score edges in the subsequent window" property of §III-B.
+func (w *window) popBest() (e graph.Edge, part int, score float64, ok bool) {
+	if w.len() == 0 {
+		return graph.Edge{}, 0, 0, false
+	}
+	if len(w.candidates) == 0 {
+		w.rescanSecondary()
+	}
+	if w.eager {
+		if len(w.candidates) > 0 {
+			if best := w.rescoreCandidates(); best != nil {
+				w.remove(best)
+				return best.edge, best.part, best.score, true
+			}
+		}
+	} else if len(w.candidates) > 0 {
+		if best := w.selectLazy(); best != nil {
+			w.remove(best)
+			return best.edge, best.part, best.score, true
+		}
+	}
+	if len(w.secondary) == 0 {
+		// Everything was consumed by demotion-free candidate selection.
+		if len(w.candidates) == 0 {
+			return graph.Edge{}, 0, 0, false
+		}
+		best := w.candidates[0]
+		for _, ent := range w.candidates[1:] {
+			if ent.score > best.score {
+				best = ent
+			}
+		}
+		w.remove(best)
+		return best.edge, best.part, best.score, true
+	}
+	// Everything scored at or below Θ: fall back to the best secondary
+	// entry by cached score (fresh from the rescan above).
+	best := w.secondary[0]
+	for _, ent := range w.secondary[1:] {
+		if ent.score > best.score {
+			best = ent
+		}
+	}
+	w.remove(best)
+	return best.edge, best.part, best.score, true
+}
+
+// selectLazy picks the winning candidate: scan cached scores for the two
+// best entries, refresh only the leader, and accept it unless its fresh
+// score fell below the runner-up — in which case retry with the updated
+// cache (bounded). Returns nil only if demotions empty the candidate set.
+func (w *window) selectLazy() *winEntry {
+	const maxTries = 4
+	for try := 0; try < maxTries; try++ {
+		if len(w.candidates) == 0 {
+			return nil
+		}
+		best := w.candidates[0]
+		var second float64
+		for _, ent := range w.candidates[1:] {
+			if ent.score > best.score {
+				second = best.score
+				best = ent
+			} else if ent.score > second {
+				second = ent.score
+			}
+		}
+		_, fresh, part := w.sc.scoreEdge(best.edge, w.neighbors(best.edge))
+		w.updateScore(best, fresh, part)
+		if fresh >= second || len(w.candidates) == 1 {
+			return best
+		}
+		// The leader's score decayed below the runner-up: demote it if it
+		// also fell under Θ, then retry against the updated cache.
+		if fresh <= w.theta() {
+			w.detach(best)
+			w.pushSecondary(best)
+			w.demotions++
+		}
+	}
+	// Give up on laziness for this pop: full rescore, exact argmax.
+	return w.rescoreCandidates()
+}
+
+// rescoreCandidates refreshes every candidate's score, demoting those that
+// fell to or below Θ (lazy mode only), and returns the argmax (nil if all
+// demoted).
+func (w *window) rescoreCandidates() *winEntry {
+	theta := w.theta()
+	var best *winEntry
+	for i := 0; i < len(w.candidates); {
+		ent := w.candidates[i]
+		_, score, part := w.sc.scoreEdge(ent.edge, w.neighbors(ent.edge))
+		w.updateScore(ent, score, part)
+		if !w.eager && score <= theta {
+			// Demote: swap-remove from candidates, push to secondary.
+			w.detach(ent)
+			w.pushSecondary(ent)
+			w.demotions++
+			continue // i now holds the swapped-in entry
+		}
+		if best == nil || score > best.score {
+			best = ent
+		}
+		i++
+	}
+	return best
+}
+
+// rescanSecondary re-scores every secondary entry and promotes those whose
+// fresh score exceeds Θ (§III-B step 2).
+func (w *window) rescanSecondary() {
+	w.rescans++
+	theta := w.theta()
+	for i := 0; i < len(w.secondary); {
+		ent := w.secondary[i]
+		_, score, part := w.sc.scoreEdge(ent.edge, w.neighbors(ent.edge))
+		w.updateScore(ent, score, part)
+		if score > theta && len(w.candidates) < w.maxCand {
+			w.detach(ent)
+			w.pushCandidate(ent)
+			w.promotions++
+			continue
+		}
+		i++
+	}
+}
+
+// reassess re-scores the secondary edges incident to v — called when v
+// gained a new replica, which may have raised their replication or
+// clustering scores past Θ (§III-B step 3).
+func (w *window) reassess(v graph.VertexID) {
+	w.reassessments++
+	theta := w.theta()
+	for _, ent := range w.iterIncident(v) {
+		if ent.kind != inSecondary || len(w.candidates) >= w.maxCand {
+			continue
+		}
+		_, score, part := w.sc.scoreEdge(ent.edge, w.neighbors(ent.edge))
+		w.updateScore(ent, score, part)
+		if score > theta {
+			w.detach(ent)
+			w.pushCandidate(ent)
+			w.promotions++
+		}
+	}
+}

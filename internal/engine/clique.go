@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"github.com/adwise-go/adwise/internal/graph"
+)
+
+// CliqueSearchConfig configures the random-walker clique search of the
+// paper's Figure 7f workload: "vertices exchange messages of partially
+// found cliques and probabilistically (P = 0.5) forward these messages if
+// they are connected to all vertices in the partial clique message
+// (probabilistic flooding)".
+type CliqueSearchConfig struct {
+	// Size is the clique size to search for (paper: 3, 4, 5).
+	Size int
+	// Seeds are the start vertices (paper: ten random vertices per run).
+	Seeds []graph.VertexID
+	// ForwardProbability is the flooding probability P (paper: 0.5).
+	ForwardProbability float64
+	// Seed drives the per-partition forwarding RNGs; fixed seeds make runs
+	// reproducible regardless of goroutine scheduling.
+	Seed uint64
+	// MaxMessagesPerPartition caps per-superstep message production per
+	// partition (0 = unlimited).
+	MaxMessagesPerPartition int
+}
+
+// CliqueSearchResult reports what a clique search found.
+type CliqueSearchResult struct {
+	// Found counts partial-clique messages that reached the target size.
+	// The same clique may be discovered along multiple walker paths; the
+	// count is a detection signal, not a distinct-clique census.
+	Found int64
+	// Dropped counts messages discarded by the per-partition cap.
+	Dropped int64
+}
+
+type cliqueMsg struct {
+	members []graph.VertexID // sorted partial clique
+}
+
+// CliqueSearch runs the probabilistic-flooding clique search. Membership
+// checks use the engine's global adjacency; a distributed deployment would
+// resolve them through the replica layer, whose synchronisation cost is
+// what the cost model already charges per message hop.
+func (e *Engine) CliqueSearch(cfg CliqueSearchConfig) (CliqueSearchResult, Report, error) {
+	if cfg.Size < 2 {
+		return CliqueSearchResult{}, Report{}, fmt.Errorf("engine: clique size must be >= 2, got %d", cfg.Size)
+	}
+	if len(cfg.Seeds) == 0 {
+		return CliqueSearchResult{}, Report{}, fmt.Errorf("engine: clique search needs at least one seed")
+	}
+	if cfg.ForwardProbability < 0 || cfg.ForwardProbability > 1 {
+		return CliqueSearchResult{}, Report{}, fmt.Errorf("engine: forward probability %v outside [0,1]", cfg.ForwardProbability)
+	}
+	start := time.Now()
+
+	inbox := make([][]cliqueMsg, e.numV)
+	for _, s := range cfg.Seeds {
+		if int(s) >= e.numV {
+			return CliqueSearchResult{}, Report{}, fmt.Errorf("engine: seed %d outside vertex universe", s)
+		}
+		inbox[s] = append(inbox[s], cliqueMsg{members: []graph.VertexID{s}})
+	}
+
+	var res CliqueSearchResult
+	rep := Report{}
+	edgeOps := make([]int64, e.k)
+	vertexOps := make([]int64, e.k)
+	msgs := make([]int64, e.k)
+	outPer := make([]map[graph.VertexID][]cliqueMsg, e.k)
+	foundPer := make([]int64, e.k)
+	droppedPer := make([]int64, e.k)
+
+	// A clique of Size s is assembled in s-1 extension hops.
+	for step := 0; step < cfg.Size-1; step++ {
+		for p := 0; p < e.k; p++ {
+			edgeOps[p], vertexOps[p], msgs[p] = 0, 0, 0
+			outPer[p] = make(map[graph.VertexID][]cliqueMsg)
+			foundPer[p], droppedPer[p] = 0, 0
+		}
+
+		// Broadcast cost (sequential, race-free): inboxes ship master →
+		// mirrors before the parallel phase; the master's partition pays.
+		for v := range inbox {
+			if len(inbox[v]) == 0 {
+				continue
+			}
+			if reps := e.replicas[v]; len(reps) > 1 {
+				msgs[int(e.master[v])] += int64(len(reps) - 1)
+			}
+		}
+
+		e.parallel(func(p int) {
+			lp := &e.parts[p]
+			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(p)<<16|uint64(step)))
+			out := outPer[p]
+			var produced int64
+			forward := func(from, to graph.VertexID) {
+				waiting := inbox[from]
+				if len(waiting) == 0 {
+					return
+				}
+				edgeOps[p] += int64(len(waiting))
+				for _, m := range waiting {
+					if contains(m.members, to) {
+						continue
+					}
+					// The candidate must close a clique with every member.
+					ok := true
+					for _, mem := range m.members {
+						if !e.csr.HasEdge(to, mem) {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						continue
+					}
+					if len(m.members)+1 == cfg.Size {
+						foundPer[p]++
+						continue
+					}
+					if cfg.ForwardProbability < 1 && rng.Float64() >= cfg.ForwardProbability {
+						continue
+					}
+					if cfg.MaxMessagesPerPartition > 0 && produced >= int64(cfg.MaxMessagesPerPartition) {
+						droppedPer[p]++
+						continue
+					}
+					nm := make([]graph.VertexID, len(m.members)+1)
+					copy(nm, m.members)
+					nm[len(m.members)] = to
+					out[to] = append(out[to], cliqueMsg{members: nm})
+					produced++
+				}
+			}
+			for _, ed := range lp.edges {
+				forward(ed.Src, ed.Dst)
+				if ed.Dst != ed.Src {
+					forward(ed.Dst, ed.Src)
+				}
+			}
+			var vops int64
+			for _, v := range lp.vertices {
+				if len(inbox[v]) > 0 {
+					vops++
+				}
+			}
+			vertexOps[p] = vops
+		})
+
+		next := make([][]cliqueMsg, e.numV)
+		var delivered int64
+		for p := 0; p < e.k; p++ {
+			for dst, list := range outPer[p] {
+				if e.master[dst] != int32(p) {
+					msgs[p] += int64(len(list))
+				}
+				next[dst] = append(next[dst], list...)
+				delivered += int64(len(list))
+			}
+			res.Found += foundPer[p]
+			res.Dropped += droppedPer[p]
+		}
+		inbox = next
+
+		for p := range msgs {
+			rep.EdgeOps += edgeOps[p]
+			rep.Messages += msgs[p]
+		}
+		stepLat := e.stepCost(edgeOps, vertexOps, msgs)
+		rep.PerStep = append(rep.PerStep, stepLat)
+		rep.SimulatedLatency += stepLat
+		rep.Supersteps++
+		if delivered == 0 && step < cfg.Size-2 {
+			break
+		}
+	}
+	rep.WallTime = time.Since(start)
+	return res, rep, nil
+}

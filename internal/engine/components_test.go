@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"github.com/adwise-go/adwise/internal/gen"
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/partition"
+	"github.com/adwise-go/adwise/internal/stream"
+	"time"
+)
+
+func TestConnectedComponentsMatchesReference(t *testing.T) {
+	// Three disjoint cliques plus an isolated pair.
+	var edges []graph.Edge
+	addClique := func(base graph.VertexID, n int) {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				edges = append(edges, graph.Edge{Src: base + graph.VertexID(i), Dst: base + graph.VertexID(j)})
+			}
+		}
+	}
+	addClique(0, 5)
+	addClique(10, 4)
+	addClique(20, 6)
+	edges = append(edges, graph.Edge{Src: 30, Dst: 31})
+	g := &graph.Graph{NumV: 32, Edges: edges}
+
+	e := newEngine(t, g, 4)
+	labels, rep, err := e.ConnectedComponents(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ComponentsReference(g)
+	for v := range want {
+		// Vertices without edges keep their own label in both.
+		if labels[v] != want[v] {
+			t.Fatalf("label[%d] = %d, reference %d", v, labels[v], want[v])
+		}
+	}
+	if rep.Supersteps < 2 {
+		t.Errorf("converged suspiciously fast: %d supersteps", rep.Supersteps)
+	}
+}
+
+func TestConnectedComponentsSingleComponent(t *testing.T) {
+	g, err := gen.Cycle(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 4)
+	labels, _, err := e.ConnectedComponents(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, l := range labels {
+		if l != 0 {
+			t.Fatalf("label[%d] = %d, want 0 on a cycle", v, l)
+		}
+	}
+}
+
+func TestConnectedComponentsErrors(t *testing.T) {
+	g, _ := gen.Cycle(10)
+	e := newEngine(t, g, 2)
+	if _, _, err := e.ConnectedComponents(0); err == nil {
+		t.Error("maxIterations=0 accepted")
+	}
+}
+
+func TestConnectedComponentsTrafficDecays(t *testing.T) {
+	g, err := gen.HolmeKim(400, 3, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 8)
+	_, rep, err := e.ConnectedComponents(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerStep) < 2 {
+		t.Skip("converged in one step")
+	}
+	first, last := rep.PerStep[0], rep.PerStep[len(rep.PerStep)-1]
+	if last > first {
+		t.Errorf("per-step latency grew while converging: %v → %v", first, last)
+	}
+}
+
+func TestSSSPMatchesReference(t *testing.T) {
+	g, err := gen.HolmeKim(300, 3, 0.4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 8)
+	dist, rep, err := e.SSSP(0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SSSPReference(g, 0)
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %v, reference %v", v, dist[v], want[v])
+		}
+	}
+	if rep.Supersteps < 2 {
+		t.Errorf("converged suspiciously fast: %d supersteps", rep.Supersteps)
+	}
+}
+
+func TestSSSPPathDistances(t *testing.T) {
+	g, err := gen.Path(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 4)
+	dist, _, err := e.SSSP(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 20; v++ {
+		if dist[v] != float64(v) {
+			t.Fatalf("dist[%d] = %v, want %d on a path", v, dist[v], v)
+		}
+	}
+}
+
+func TestSSSPUnreachable(t *testing.T) {
+	// Two components: distances in the far component stay infinite.
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}}
+	g := &graph.Graph{NumV: 4, Edges: edges}
+	e := newEngine(t, g, 2)
+	dist, _, err := e.SSSP(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(dist[2], 1) || !math.IsInf(dist[3], 1) {
+		t.Errorf("unreachable distances = %v, want +Inf", dist[2:4])
+	}
+	if dist[1] != 1 {
+		t.Errorf("dist[1] = %v, want 1", dist[1])
+	}
+}
+
+func TestSSSPErrors(t *testing.T) {
+	g, _ := gen.Cycle(10)
+	e := newEngine(t, g, 2)
+	if _, _, err := e.SSSP(99, 10); err == nil {
+		t.Error("out-of-universe source accepted")
+	}
+	if _, _, err := e.SSSP(0, 0); err == nil {
+		t.Error("maxIterations=0 accepted")
+	}
+}
+
+func TestStepCostMachineAggregation(t *testing.T) {
+	// 4 partitions on 2 machines: machine 0 hosts partitions {0,2},
+	// machine 1 hosts {1,3}. Work: edges [100,0,100,0] → machine 0 does
+	// 200 edge ops, machine 1 zero. msgs [0,50,0,50] → machine 1 sends
+	// 100 messages.
+	g, _ := gen.Cycle(16)
+	h, err := partition.NewHash(partition.Config{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := partition.Run(stream.FromGraph(g), h)
+	cost := CostModel{
+		PerEdge:      time.Microsecond,
+		PerVertex:    0,
+		PerMessage:   time.Millisecond,
+		StepOverhead: time.Second,
+		Machines:     2,
+	}
+	e, err := New(a, g.NumV, cost, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.stepCost([]int64{100, 0, 100, 0}, []int64{0, 0, 0, 0}, []int64{0, 50, 0, 50})
+	want := 200*time.Microsecond + 100*time.Millisecond + time.Second
+	if got != want {
+		t.Errorf("stepCost = %v, want %v", got, want)
+	}
+
+	// Machines = 0 falls back to one machine per partition.
+	cost.Machines = 0
+	e2, err := New(a, g.NumV, cost, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = e2.stepCost([]int64{100, 0, 100, 0}, []int64{0, 0, 0, 0}, []int64{0, 50, 0, 50})
+	want = 100*time.Microsecond + 50*time.Millisecond + time.Second
+	if got != want {
+		t.Errorf("stepCost (per-partition machines) = %v, want %v", got, want)
+	}
+}
+
+func TestMasterPlacementSpread(t *testing.T) {
+	// With hashed master placement, masters of replicated vertices must
+	// not all land on the same partition (the min-id pathology).
+	g, err := gen.Community(20, 10, 0.9, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := partition.NewHash(partition.Config{K: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := partition.Run(stream.FromGraph(g), h)
+	e, err := New(a, g.NumV, DefaultCostModel(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int32]int)
+	replicated := 0
+	for v := 0; v < g.NumV; v++ {
+		if len(e.replicas[v]) > 1 {
+			counts[e.master[v]]++
+			replicated++
+		}
+	}
+	if replicated == 0 {
+		t.Skip("no replicated vertices")
+	}
+	for p, c := range counts {
+		if c > replicated/2 {
+			t.Errorf("partition %d hosts %d of %d masters — placement concentrated", p, c, replicated)
+		}
+	}
+	// Summary must agree with metrics on replica counts regardless of
+	// master choice.
+	s := metrics.Summarize(a)
+	var engineReplicas int64
+	for v := 0; v < g.NumV; v++ {
+		engineReplicas += int64(len(e.replicas[v]))
+	}
+	if engineReplicas != s.Replicas {
+		t.Errorf("engine counts %d replicas, metrics %d", engineReplicas, s.Replicas)
+	}
+}

@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"github.com/adwise-go/adwise/internal/gen"
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/partition"
+	"github.com/adwise-go/adwise/internal/stream"
+)
+
+// hashAssign partitions g with the hash baseline — a quick way to get a
+// valid vertex-cut for engine tests.
+func hashAssign(t *testing.T, g *graph.Graph, k int) *metrics.Assignment {
+	t.Helper()
+	h, err := partition.NewHash(partition.Config{K: k, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return partition.Run(stream.FromGraph(g), h)
+}
+
+func newEngine(t *testing.T, g *graph.Graph, k int) *Engine {
+	t.Helper()
+	a := hashAssign(t, g, k)
+	e, err := New(a, g.NumV, DefaultCostModel(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	g, err := gen.Cycle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := hashAssign(t, g, 4)
+
+	if _, err := New(&metrics.Assignment{K: 0}, 10, DefaultCostModel(), 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := New(a, 3, DefaultCostModel(), 0); err == nil {
+		t.Error("vertex universe smaller than edge endpoints accepted")
+	}
+	empty := metrics.NewAssignment(4, 0)
+	if _, err := New(empty, 10, DefaultCostModel(), 0); err == nil {
+		t.Error("empty assignment accepted")
+	}
+}
+
+func TestEngineStructure(t *testing.T) {
+	g, err := gen.Cycle(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 4)
+	if e.K() != 4 || e.NumV() != 16 {
+		t.Errorf("K=%d NumV=%d", e.K(), e.NumV())
+	}
+	// Engine replica counts must agree with the metrics package.
+	a := hashAssign(t, g, 4)
+	for v, set := range a.ReplicaSets() {
+		if got := e.ReplicaCount(v); got != set.Count() {
+			t.Errorf("ReplicaCount(%d) = %d, want %d", v, got, set.Count())
+		}
+	}
+}
+
+func TestPageRankMatchesSequentialReference(t *testing.T) {
+	g, err := gen.HolmeKim(300, 3, 0.4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 8)
+	got, rep, err := e.PageRank(20, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PageRankReference(g, 20, 0.85)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-12 {
+			t.Fatalf("rank[%d] = %v, reference %v", v, got[v], want[v])
+		}
+	}
+	if rep.Supersteps != 20 {
+		t.Errorf("Supersteps = %d, want 20", rep.Supersteps)
+	}
+	if rep.SimulatedLatency <= 0 || rep.Messages <= 0 || rep.EdgeOps <= 0 {
+		t.Errorf("degenerate report: %+v", rep)
+	}
+	if len(rep.PerStep) != 20 {
+		t.Errorf("PerStep has %d entries", len(rep.PerStep))
+	}
+}
+
+func TestPageRankMassConservation(t *testing.T) {
+	// With damping d, total mass converges near 1 when every vertex has
+	// out-degree >= 1 (a cycle guarantees it).
+	g, err := gen.Cycle(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 4)
+	rank, _, err := e.PageRank(30, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("rank mass = %v, want 1", sum)
+	}
+	// Symmetry: every cycle vertex must have identical rank.
+	for v := 1; v < 50; v++ {
+		if math.Abs(rank[v]-rank[0]) > 1e-12 {
+			t.Errorf("rank[%d] = %v != rank[0] = %v on symmetric cycle", v, rank[v], rank[0])
+		}
+	}
+}
+
+func TestPageRankErrors(t *testing.T) {
+	g, _ := gen.Cycle(10)
+	e := newEngine(t, g, 2)
+	if _, _, err := e.PageRank(0, 0.85); err == nil {
+		t.Error("iterations=0 accepted")
+	}
+	if _, _, err := e.PageRank(5, 1.0); err == nil {
+		t.Error("damping=1 accepted")
+	}
+}
+
+func TestPageRankDeterministic(t *testing.T) {
+	g, err := gen.HolmeKim(200, 3, 0.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := hashAssign(t, g, 8)
+	run := func() ([]float64, Report) {
+		e, err := New(a, g.NumV, DefaultCostModel(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, rep, err := e.PageRank(10, 0.85)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, rep
+	}
+	r1, rep1 := run()
+	r2, rep2 := run()
+	for v := range r1 {
+		if r1[v] != r2[v] {
+			t.Fatalf("rank[%d] differs across runs", v)
+		}
+	}
+	if rep1.SimulatedLatency != rep2.SimulatedLatency || rep1.Messages != rep2.Messages {
+		t.Error("simulated accounting not deterministic")
+	}
+}
+
+func TestBetterPartitioningLowersSimulatedLatency(t *testing.T) {
+	// The causal chain the whole paper rests on: lower replication degree
+	// → fewer sync messages → lower processing latency.
+	g, err := gen.Community(40, 12, 0.85, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashA := hashAssign(t, g, 8)
+	gr, err := partition.NewGreedy(partition.Config{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedyA := partition.Run(stream.FromGraph(g), gr)
+
+	rfHash := metrics.Summarize(hashA).ReplicationDegree
+	rfGreedy := metrics.Summarize(greedyA).ReplicationDegree
+	if rfGreedy >= rfHash {
+		t.Fatalf("precondition failed: greedy RF %v >= hash RF %v", rfGreedy, rfHash)
+	}
+
+	run := func(a *metrics.Assignment) Report {
+		e, err := New(a, g.NumV, DefaultCostModel(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rep, err := e.PageRank(5, 0.85)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	repHash, repGreedy := run(hashA), run(greedyA)
+	if repGreedy.Messages >= repHash.Messages {
+		t.Errorf("greedy messages %d >= hash messages %d despite lower RF", repGreedy.Messages, repHash.Messages)
+	}
+	if repGreedy.SimulatedLatency >= repHash.SimulatedLatency {
+		t.Errorf("greedy latency %v >= hash latency %v despite lower RF", repGreedy.SimulatedLatency, repHash.SimulatedLatency)
+	}
+}
+
+func TestCumulativeLatency(t *testing.T) {
+	g, _ := gen.Cycle(20)
+	e := newEngine(t, g, 2)
+	_, rep, err := e.PageRank(10, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.CumulativeLatency(5); got <= 0 || got >= rep.SimulatedLatency {
+		t.Errorf("CumulativeLatency(5) = %v, total %v", got, rep.SimulatedLatency)
+	}
+	if got := rep.CumulativeLatency(100); got != rep.SimulatedLatency {
+		t.Errorf("CumulativeLatency beyond run = %v, want total %v", got, rep.SimulatedLatency)
+	}
+}
+
+func TestColoringProducesProperColoring(t *testing.T) {
+	g, err := gen.Community(20, 8, 0.9, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 8)
+	colors, rep, err := e.Coloring(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValidColoring(g, colors) {
+		t.Error("engine produced an improper coloring")
+	}
+	if rep.Supersteps < 2 {
+		t.Errorf("suspiciously few supersteps: %d", rep.Supersteps)
+	}
+	// Messages must shrink as the coloring converges (fewer changed
+	// vertices over time) — compare first and last superstep latency.
+	if rep.PerStep[len(rep.PerStep)-1] > rep.PerStep[0] {
+		t.Errorf("latency grew while converging: first %v, last %v",
+			rep.PerStep[0], rep.PerStep[len(rep.PerStep)-1])
+	}
+}
+
+func TestColoringPath(t *testing.T) {
+	// A path is 2-colorable; the greedy priority order may use a third
+	// color but never more than Δ+1 = 3.
+	g, _ := gen.Path(50)
+	e := newEngine(t, g, 4)
+	colors, _, err := e.Coloring(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValidColoring(g, colors) {
+		t.Error("improper coloring on path")
+	}
+	max := int32(0)
+	for _, c := range colors {
+		if c > max {
+			max = c
+		}
+	}
+	if max > 2 {
+		t.Errorf("path used %d colors, want <= 3", max+1)
+	}
+}
+
+func TestColoringClique(t *testing.T) {
+	// K5 needs exactly 5 colors.
+	g, _ := gen.Clique(5)
+	e := newEngine(t, g, 2)
+	colors, _, err := e.Coloring(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValidColoring(g, colors) {
+		t.Fatal("improper coloring on K5")
+	}
+	seen := make(map[int32]bool)
+	for _, c := range colors[:5] {
+		seen[c] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("K5 colored with %d distinct colors, want 5", len(seen))
+	}
+}
+
+func TestColoringErrors(t *testing.T) {
+	g, _ := gen.Cycle(10)
+	e := newEngine(t, g, 2)
+	if _, _, err := e.Coloring(0); err == nil {
+		t.Error("maxIterations=0 accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/adwise-go/adwise/internal/graph"
+)
+
+// PageRank executes the canonical damped PageRank over the directed edges
+// of the partitioned graph:
+//
+//	rank[v] = (1−d)/N + d · Σ_{(u→v)∈E} rank[u]/outdeg[u]
+//
+// Each iteration is one gather-apply-scatter superstep: partitions
+// accumulate partial rank mass along their local edges (gather), partials
+// are combined at each vertex's master (the mirror→master sync), masters
+// apply the update, and the new ranks flow back to the mirrors
+// (master→mirror sync). Every vertex changes every iteration, so the sync
+// traffic per superstep is exactly 2·Σ_v(|Rv|−1) messages.
+//
+// The returned ranks are the real computed values — tests compare them to
+// a sequential reference.
+func (e *Engine) PageRank(iterations int, damping float64) ([]float64, Report, error) {
+	if iterations < 1 {
+		return nil, Report{}, fmt.Errorf("engine: PageRank needs >= 1 iterations, got %d", iterations)
+	}
+	if damping < 0 || damping >= 1 {
+		return nil, Report{}, fmt.Errorf("engine: PageRank damping %v outside [0,1)", damping)
+	}
+	start := time.Now()
+
+	n := float64(e.numV)
+	rank := make([]float64, e.numV)
+	for i := range rank {
+		rank[i] = 1 / n
+	}
+	// Per-partition partial accumulators, indexed by local vertex index.
+	partials := make([][]float64, e.k)
+	for p := range partials {
+		partials[p] = make([]float64, len(e.parts[p].vertices))
+	}
+	acc := make([]float64, e.numV)
+
+	rep := Report{PerStep: make([]time.Duration, 0, iterations)}
+	edgeOps := make([]int64, e.k)
+	vertexOps := make([]int64, e.k)
+	msgs := make([]int64, e.k)
+
+	for it := 0; it < iterations; it++ {
+		for p := range msgs {
+			edgeOps[p], vertexOps[p], msgs[p] = 0, 0, 0
+		}
+
+		// Gather: stream local edges, accumulating rank mass into the
+		// partition-local partials (real parallel work).
+		e.parallel(func(p int) {
+			lp := &e.parts[p]
+			part := partials[p]
+			for i := range part {
+				part[i] = 0
+			}
+			for _, ed := range lp.edges {
+				part[lp.localIdx[ed.Dst]] += rank[ed.Src] / float64(e.outDeg[ed.Src])
+			}
+			edgeOps[p] = int64(len(lp.edges))
+		})
+
+		// Mirror→master combine. Sequential over partitions: the real work
+		// is O(Σ replicas), negligible next to the gather phase, and a
+		// deterministic merge order keeps runs reproducible.
+		for v := range acc {
+			acc[v] = 0
+		}
+		for p := 0; p < e.k; p++ {
+			lp := &e.parts[p]
+			for i, v := range lp.vertices {
+				acc[v] += partials[p][i]
+			}
+		}
+
+		// Apply at masters + scatter back to mirrors (values live in the
+		// shared rank array; the cost model charges the messages).
+		e.parallel(func(p int) {
+			lp := &e.parts[p]
+			var ops int64
+			for _, v := range lp.vertices {
+				if e.master[v] != int32(p) {
+					continue
+				}
+				rank[v] = (1-damping)/n + damping*acc[v]
+				ops++
+			}
+			vertexOps[p] = ops
+		})
+
+		// Isolated vertices (no edges) still hold the teleport mass.
+		for v := 0; v < e.numV; v++ {
+			if e.master[v] < 0 {
+				rank[v] = (1 - damping) / n
+			}
+		}
+
+		rep.Messages += e.fullSyncCost(msgs)
+		for p := range edgeOps {
+			rep.EdgeOps += edgeOps[p]
+		}
+		stepLat := e.stepCost(edgeOps, vertexOps, msgs)
+		rep.PerStep = append(rep.PerStep, stepLat)
+		rep.SimulatedLatency += stepLat
+		rep.Supersteps++
+	}
+	rep.WallTime = time.Since(start)
+	return rank, rep, nil
+}
+
+// PageRankReference computes the same PageRank sequentially; tests use it
+// to validate the engine's distributed execution.
+func PageRankReference(g *graph.Graph, iterations int, damping float64) []float64 {
+	n := float64(g.NumV)
+	rank := make([]float64, g.NumV)
+	for i := range rank {
+		rank[i] = 1 / n
+	}
+	outDeg := g.OutDegrees()
+	acc := make([]float64, g.NumV)
+	for it := 0; it < iterations; it++ {
+		for i := range acc {
+			acc[i] = 0
+		}
+		for _, ed := range g.Edges {
+			acc[ed.Dst] += rank[ed.Src] / float64(outDeg[ed.Src])
+		}
+		for v := range rank {
+			rank[v] = (1-damping)/n + damping*acc[v]
+		}
+	}
+	return rank
+}

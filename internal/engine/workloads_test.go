@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/adwise-go/adwise/internal/gen"
+	"github.com/adwise-go/adwise/internal/graph"
+)
+
+func allVertices(n int) []graph.VertexID {
+	out := make([]graph.VertexID, n)
+	for i := range out {
+		out[i] = graph.VertexID(i)
+	}
+	return out
+}
+
+func TestCycleSearchFindsTheCycle(t *testing.T) {
+	// On C_n with all seeds, every vertex starts a walker in both
+	// directions: 2n closed simple paths of length n.
+	const n = 8
+	g, err := gen.Cycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 4)
+	res, rep, err := e.CycleSearch(CycleSearchConfig{Length: n, Seeds: allVertices(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found != 2*n {
+		t.Errorf("Found = %d, want %d (2 directions × %d seeds)", res.Found, 2*n, n)
+	}
+	if res.Dropped != 0 {
+		t.Errorf("Dropped = %d on uncapped search", res.Dropped)
+	}
+	if rep.Supersteps != n {
+		t.Errorf("Supersteps = %d, want %d", rep.Supersteps, n)
+	}
+}
+
+func TestCycleSearchWrongLengthFindsNothing(t *testing.T) {
+	g, err := gen.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 4)
+	res, _, err := e.CycleSearch(CycleSearchConfig{Length: 5, Seeds: allVertices(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found != 0 {
+		t.Errorf("Found = %d cycles of length 5 in C8, want 0", res.Found)
+	}
+}
+
+func TestCycleSearchTriangles(t *testing.T) {
+	// K4 contains 4 triangles; each triangle is found once per seed on it
+	// and per direction: 4 triangles × 3 seeds × 2 directions = 24.
+	g, err := gen.Clique(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 2)
+	res, _, err := e.CycleSearch(CycleSearchConfig{Length: 3, Seeds: allVertices(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found != 24 {
+		t.Errorf("Found = %d, want 24", res.Found)
+	}
+}
+
+func TestCycleSearchSingleSeed(t *testing.T) {
+	g, err := gen.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 3)
+	res, _, err := e.CycleSearch(CycleSearchConfig{Length: 6, Seeds: []graph.VertexID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found != 2 { // both directions
+		t.Errorf("Found = %d, want 2", res.Found)
+	}
+}
+
+func TestCycleSearchNoCycleOnPath(t *testing.T) {
+	g, err := gen.Path(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 2)
+	res, _, err := e.CycleSearch(CycleSearchConfig{Length: 4, Seeds: allVertices(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found != 0 {
+		t.Errorf("Found = %d cycles on a path", res.Found)
+	}
+}
+
+func TestCycleSearchCapDropsMessages(t *testing.T) {
+	g, err := gen.Clique(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 2)
+	res, _, err := e.CycleSearch(CycleSearchConfig{
+		Length:                  6,
+		Seeds:                   allVertices(10),
+		MaxMessagesPerPartition: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Error("no drops despite tiny cap on K10 length-6 search")
+	}
+}
+
+func TestCycleSearchErrors(t *testing.T) {
+	g, _ := gen.Cycle(6)
+	e := newEngine(t, g, 2)
+	if _, _, err := e.CycleSearch(CycleSearchConfig{Length: 2, Seeds: allVertices(6)}); err == nil {
+		t.Error("length 2 accepted")
+	}
+	if _, _, err := e.CycleSearch(CycleSearchConfig{Length: 4}); err == nil {
+		t.Error("no seeds accepted")
+	}
+	if _, _, err := e.CycleSearch(CycleSearchConfig{Length: 4, Seeds: []graph.VertexID{99}}); err == nil {
+		t.Error("out-of-universe seed accepted")
+	}
+}
+
+func TestCliqueSearchFindsPlantedClique(t *testing.T) {
+	// K5 with deterministic forwarding: walkers from every vertex must
+	// assemble 5-cliques.
+	g, err := gen.Clique(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 2)
+	res, rep, err := e.CliqueSearch(CliqueSearchConfig{
+		Size:               5,
+		Seeds:              allVertices(5),
+		ForwardProbability: 1.0,
+		Seed:               1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found == 0 {
+		t.Error("no 5-cliques found in K5 with P=1")
+	}
+	if rep.Supersteps != 4 {
+		t.Errorf("Supersteps = %d, want 4", rep.Supersteps)
+	}
+}
+
+func TestCliqueSearchNoCliqueOnCycle(t *testing.T) {
+	// C8 is triangle-free.
+	g, err := gen.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 4)
+	res, _, err := e.CliqueSearch(CliqueSearchConfig{
+		Size:               3,
+		Seeds:              allVertices(8),
+		ForwardProbability: 1.0,
+		Seed:               1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found != 0 {
+		t.Errorf("Found = %d triangles in C8", res.Found)
+	}
+}
+
+func TestCliqueSearchTriangleCount(t *testing.T) {
+	// A single triangle with P=1 and all seeds: each seed's walker reaches
+	// size 3 along 2 orders through each neighbour pair. Expect a positive
+	// deterministic count, identical across runs.
+	g, err := gen.Cycle(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 2)
+	run := func() int64 {
+		res, _, err := e.CliqueSearch(CliqueSearchConfig{
+			Size:               3,
+			Seeds:              allVertices(3),
+			ForwardProbability: 1.0,
+			Seed:               42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Found
+	}
+	a, b := run(), run()
+	if a == 0 {
+		t.Error("triangle not found")
+	}
+	if a != b {
+		t.Errorf("clique search not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestCliqueSearchProbabilisticForwardingPrunes(t *testing.T) {
+	g, err := gen.Clique(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 4)
+	run := func(p float64) int64 {
+		res, _, err := e.CliqueSearch(CliqueSearchConfig{
+			Size:               4,
+			Seeds:              allVertices(12),
+			ForwardProbability: p,
+			Seed:               7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Found
+	}
+	full, half := run(1.0), run(0.5)
+	if half >= full {
+		t.Errorf("P=0.5 found %d >= P=1.0 found %d — flooding not pruned", half, full)
+	}
+	if half == 0 {
+		t.Error("P=0.5 found nothing in K12 — pruning too aggressive")
+	}
+}
+
+func TestCliqueSearchErrors(t *testing.T) {
+	g, _ := gen.Cycle(6)
+	e := newEngine(t, g, 2)
+	if _, _, err := e.CliqueSearch(CliqueSearchConfig{Size: 1, Seeds: allVertices(6), ForwardProbability: 0.5}); err == nil {
+		t.Error("size 1 accepted")
+	}
+	if _, _, err := e.CliqueSearch(CliqueSearchConfig{Size: 3, ForwardProbability: 0.5}); err == nil {
+		t.Error("no seeds accepted")
+	}
+	if _, _, err := e.CliqueSearch(CliqueSearchConfig{Size: 3, Seeds: allVertices(6), ForwardProbability: 1.5}); err == nil {
+		t.Error("P > 1 accepted")
+	}
+	if _, _, err := e.CliqueSearch(CliqueSearchConfig{Size: 3, Seeds: []graph.VertexID{99}, ForwardProbability: 0.5}); err == nil {
+		t.Error("out-of-universe seed accepted")
+	}
+}

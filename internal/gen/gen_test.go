@@ -1,0 +1,327 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/adwise-go/adwise/internal/graph"
+)
+
+func checkBasic(t *testing.T, g *graph.Graph, wantV int) {
+	t.Helper()
+	if g.NumV != wantV {
+		t.Errorf("NumV = %d, want %d", g.NumV, wantV)
+	}
+	for _, e := range g.Edges {
+		if int(e.Src) >= g.NumV || int(e.Dst) >= g.NumV {
+			t.Fatalf("edge %v outside universe of %d", e, g.NumV)
+		}
+	}
+}
+
+func checkNoSelfLoops(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	for _, e := range g.Edges {
+		if e.IsSelfLoop() {
+			t.Fatalf("generator produced self-loop %v", e)
+		}
+	}
+}
+
+func sameEdges(a, b *graph.Graph) bool {
+	if a.E() != b.E() {
+		return false
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(100, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBasic(t, g, 100)
+	checkNoSelfLoops(t, g)
+	if g.E() != 500 {
+		t.Errorf("E = %d, want 500", g.E())
+	}
+	g2, _ := ErdosRenyi(100, 500, 1)
+	if !sameEdges(g, g2) {
+		t.Error("same seed produced different graphs")
+	}
+	g3, _ := ErdosRenyi(100, 500, 2)
+	if sameEdges(g, g3) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestErdosRenyiErrors(t *testing.T) {
+	if _, err := ErdosRenyi(1, 5, 0); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := ErdosRenyi(10, 0, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g, err := BarabasiAlbert(500, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBasic(t, g, 500)
+	checkNoSelfLoops(t, g)
+	// m seed-path edges + (n-m-1) vertices each adding m edges.
+	wantE := 3 + (500-3-1)*3
+	if g.E() != wantE {
+		t.Errorf("E = %d, want %d", g.E(), wantE)
+	}
+	// Preferential attachment must produce a hub: max degree far above m.
+	if got := g.MaxDegree(); got < 10 {
+		t.Errorf("MaxDegree = %d, want a hub (>= 10)", got)
+	}
+	g2, _ := BarabasiAlbert(500, 3, 7)
+	if !sameEdges(g, g2) {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	if _, err := BarabasiAlbert(3, 3, 0); err == nil {
+		t.Error("n <= m accepted")
+	}
+	if _, err := BarabasiAlbert(10, 0, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestHolmeKimClusteringRises(t *testing.T) {
+	flat, err := HolmeKim(800, 4, 0.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, err := HolmeKim(800, 4, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNoSelfLoops(t, tri)
+	ccFlat := graph.Summarize(flat, graph.StatsOptions{ClusteringSample: -1}).Clustering
+	ccTri := graph.Summarize(tri, graph.StatsOptions{ClusteringSample: -1}).Clustering
+	if ccTri <= ccFlat {
+		t.Errorf("triad formation did not raise clustering: pt=0 gives %v, pt=0.95 gives %v", ccFlat, ccTri)
+	}
+}
+
+func TestHolmeKimErrors(t *testing.T) {
+	if _, err := HolmeKim(10, 2, 1.5, 0); err == nil {
+		t.Error("pt > 1 accepted")
+	}
+	if _, err := HolmeKim(2, 2, 0.5, 0); err == nil {
+		t.Error("n <= m accepted")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g, err := WattsStrogatz(200, 4, 0.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBasic(t, g, 200)
+	checkNoSelfLoops(t, g)
+	if g.E() != 200*4 {
+		t.Errorf("E = %d, want %d", g.E(), 800)
+	}
+	// Low rewiring keeps the lattice's high clustering.
+	cc := graph.Summarize(g, graph.StatsOptions{ClusteringSample: -1}).Clustering
+	if cc < 0.3 {
+		t.Errorf("Clustering = %v, want >= 0.3 for beta=0.1 lattice", cc)
+	}
+}
+
+func TestWattsStrogatzErrors(t *testing.T) {
+	if _, err := WattsStrogatz(10, 5, 0.1, 0); err == nil {
+		t.Error("2k >= n accepted")
+	}
+	if _, err := WattsStrogatz(10, 2, -0.1, 0); err == nil {
+		t.Error("beta < 0 accepted")
+	}
+}
+
+func TestCommunity(t *testing.T) {
+	g, err := Community(10, 8, 1.0, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBasic(t, g, 80)
+	checkNoSelfLoops(t, g)
+	// pin=1.0: every community is a clique of 8 → 10*28 intra + 20 inter.
+	if want := 10*28 + 20; g.E() != want {
+		t.Errorf("E = %d, want %d", g.E(), want)
+	}
+	cc := graph.Summarize(g, graph.StatsOptions{ClusteringSample: -1}).Clustering
+	if cc < 0.5 {
+		t.Errorf("Clustering = %v, want >= 0.5 for clique communities", cc)
+	}
+}
+
+func TestCommunityErrors(t *testing.T) {
+	if _, err := Community(0, 5, 0.5, 0, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := Community(2, 5, 0, 0, 0); err == nil {
+		t.Error("pin=0 accepted")
+	}
+	if _, err := Community(2, 5, 0.5, -1, 0); err == nil {
+		t.Error("negative interEdges accepted")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g, err := RMAT(10, 5000, 0.57, 0.19, 0.19, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBasic(t, g, 1024)
+	checkNoSelfLoops(t, g)
+	if g.E() != 5000 {
+		t.Errorf("E = %d, want 5000", g.E())
+	}
+	// Skewed quadrant probabilities concentrate edges on low vertex ids.
+	if got := g.MaxDegree(); got < 40 {
+		t.Errorf("MaxDegree = %d, want skew (>= 40)", got)
+	}
+}
+
+func TestRMATErrors(t *testing.T) {
+	if _, err := RMAT(0, 10, 0.5, 0.2, 0.2, 0); err == nil {
+		t.Error("scale=0 accepted")
+	}
+	if _, err := RMAT(5, 10, 0.6, 0.3, 0.3, 0); err == nil {
+		t.Error("probabilities summing over 1 accepted")
+	}
+}
+
+func TestStructuredGraphs(t *testing.T) {
+	star, err := Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.E() != 4 || star.Degrees()[0] != 4 {
+		t.Errorf("Star(5): E=%d hubdeg=%d", star.E(), star.Degrees()[0])
+	}
+
+	path, err := Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.E() != 3 {
+		t.Errorf("Path(4): E=%d, want 3", path.E())
+	}
+
+	cyc, err := Cycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc.E() != 4 {
+		t.Errorf("Cycle(4): E=%d, want 4", cyc.E())
+	}
+	for _, d := range cyc.Degrees() {
+		if d != 2 {
+			t.Errorf("Cycle(4) has vertex of degree %d", d)
+		}
+	}
+
+	k4, err := Clique(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4.E() != 6 {
+		t.Errorf("Clique(4): E=%d, want 6", k4.E())
+	}
+
+	grid, err := Grid2D(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 rows × 3 horizontal + 2×4 vertical = 9 + 8.
+	if grid.E() != 17 {
+		t.Errorf("Grid2D(3,4): E=%d, want 17", grid.E())
+	}
+
+	for _, err := range []error{
+		errOf(Star(1)), errOf(Path(1)), errOf(Cycle(1)), errOf(Clique(1)), errOf(Grid2D(1, 1)),
+	} {
+		if err == nil {
+			t.Error("degenerate structured graph accepted")
+		}
+	}
+}
+
+func errOf(_ *graph.Graph, err error) error { return err }
+
+func TestPresetsMatchTableIIRegimes(t *testing.T) {
+	// The three presets must land in the paper's clustering regimes:
+	// Orkut ~0.04 (low), Brain ~0.51 (moderate), Web ~0.82 (high).
+	type band struct{ lo, hi float64 }
+	bands := map[Preset]band{
+		PresetOrkut: {0.0, 0.12},
+		PresetBrain: {0.35, 0.65},
+		PresetWeb:   {0.7, 0.95},
+	}
+	for _, p := range Presets() {
+		g, err := p.Generate(0.05, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		checkBasic(t, g, g.NumV)
+		cc := graph.Summarize(g, graph.StatsOptions{ClusteringSample: 500, Seed: 1}).Clustering
+		b := bands[p]
+		if cc < b.lo || cc > b.hi {
+			t.Errorf("%s: clustering %v outside regime [%v,%v]", p, cc, b.lo, b.hi)
+		}
+		v, e, c := p.PaperStats()
+		if v == 0 || e == 0 || c == 0 {
+			t.Errorf("%s: PaperStats incomplete", p)
+		}
+		if p.Type() == "Unknown" {
+			t.Errorf("%s: missing type label", p)
+		}
+	}
+}
+
+func TestPresetDeterminismAndScale(t *testing.T) {
+	for _, p := range Presets() {
+		a, err := p.Generate(0.05, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.Generate(0.05, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameEdges(a, b) {
+			t.Errorf("%s: same seed produced different graphs", p)
+		}
+		small, err := p.Generate(0.02, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := p.Generate(0.2, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if small.E() >= big.E() {
+			t.Errorf("%s: scale 0.02 has %d edges, scale 0.2 has %d", p, small.E(), big.E())
+		}
+	}
+	if _, err := PresetOrkut.Generate(0, 1); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := Preset("nope").Generate(1, 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}

@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"testing"
+)
+
+func mustNew(t *testing.T, edges []Edge) *Graph {
+	t.Helper()
+	g, err := New(edges)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+func TestNewComputesUniverse(t *testing.T) {
+	g := mustNew(t, []Edge{{0, 5}, {2, 3}})
+	if g.NumV != 6 {
+		t.Errorf("NumV = %d, want 6", g.NumV)
+	}
+	if g.V() != 6 || g.E() != 2 {
+		t.Errorf("V,E = %d,%d want 6,2", g.V(), g.E())
+	}
+}
+
+func TestNewEmptyEdgeList(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("New(nil) succeeded, want error")
+	}
+}
+
+func TestEdgeHelpers(t *testing.T) {
+	e := Edge{Src: 1, Dst: 2}
+	if e.Reverse() != (Edge{Src: 2, Dst: 1}) {
+		t.Errorf("Reverse = %v", e.Reverse())
+	}
+	if e.Other(1) != 2 || e.Other(2) != 1 {
+		t.Error("Other endpoint lookup wrong")
+	}
+	if e.IsSelfLoop() {
+		t.Error("IsSelfLoop = true for (1,2)")
+	}
+	if !(Edge{3, 3}).IsSelfLoop() {
+		t.Error("IsSelfLoop = false for (3,3)")
+	}
+	if got, want := e.String(), "(1->2)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	// Triangle plus a pendant and a self-loop.
+	g := mustNew(t, []Edge{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {4, 4}})
+	deg := g.Degrees()
+	want := []int{2, 2, 3, 1, 1}
+	for v, d := range want {
+		if deg[v] != d {
+			t.Errorf("deg[%d] = %d, want %d", v, deg[v], d)
+		}
+	}
+	if got := g.MaxDegree(); got != 3 {
+		t.Errorf("MaxDegree = %d, want 3", got)
+	}
+	out := g.OutDegrees()
+	wantOut := []int{1, 1, 2, 0, 1}
+	for v, d := range wantOut {
+		if out[v] != d {
+			t.Errorf("outdeg[%d] = %d, want %d", v, out[v], d)
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	g := mustNew(t, []Edge{{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}})
+	d := g.Dedup()
+	if d.E() != 2 {
+		t.Fatalf("Dedup left %d edges, want 2 (%v)", d.E(), d.Edges)
+	}
+	if d.Edges[0] != (Edge{0, 1}) || d.Edges[1] != (Edge{1, 2}) {
+		t.Errorf("Dedup edges = %v, want first occurrences in order", d.Edges)
+	}
+	if g.E() != 5 {
+		t.Error("Dedup mutated the receiver")
+	}
+}
+
+func TestCloneAndSort(t *testing.T) {
+	g := mustNew(t, []Edge{{2, 1}, {0, 3}, {2, 0}})
+	c := g.Clone()
+	c.SortEdges()
+	if c.Edges[0] != (Edge{0, 3}) || c.Edges[1] != (Edge{2, 0}) || c.Edges[2] != (Edge{2, 1}) {
+		t.Errorf("SortEdges = %v", c.Edges)
+	}
+	if g.Edges[0] != (Edge{2, 1}) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestCSRNeighbors(t *testing.T) {
+	g := mustNew(t, []Edge{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	csr := BuildCSR(g)
+	if csr.V() != 4 {
+		t.Fatalf("V = %d, want 4", csr.V())
+	}
+	wantNeigh := map[VertexID][]VertexID{
+		0: {1, 2},
+		1: {0, 2},
+		2: {0, 1, 3},
+		3: {2},
+	}
+	for v, want := range wantNeigh {
+		got := csr.Neighbors(v)
+		if len(got) != len(want) {
+			t.Fatalf("Neighbors(%d) = %v, want %v", v, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Neighbors(%d) = %v, want %v (sorted)", v, got, want)
+			}
+		}
+		if csr.Degree(v) != len(want) {
+			t.Errorf("Degree(%d) = %d, want %d", v, csr.Degree(v), len(want))
+		}
+	}
+	if !csr.HasEdge(0, 2) || csr.HasEdge(0, 3) {
+		t.Error("HasEdge adjacency wrong")
+	}
+}
+
+func TestCSRSelfLoop(t *testing.T) {
+	g := mustNew(t, []Edge{{0, 0}, {0, 1}})
+	csr := BuildCSR(g)
+	if got := csr.Degree(0); got != 2 {
+		t.Errorf("Degree(0) = %d, want 2 (self-loop counted once)", got)
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	// K4: every pair shares the other 2 vertices.
+	g := mustNew(t, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	csr := BuildCSR(g)
+	if got := csr.CommonNeighbors(0, 1); got != 2 {
+		t.Errorf("CommonNeighbors(0,1) = %d, want 2", got)
+	}
+}
+
+func TestLocalClustering(t *testing.T) {
+	tests := []struct {
+		name  string
+		edges []Edge
+		v     VertexID
+		want  float64
+	}{
+		{"triangle", []Edge{{0, 1}, {1, 2}, {2, 0}}, 0, 1.0},
+		{"star center", []Edge{{0, 1}, {0, 2}, {0, 3}}, 0, 0.0},
+		{"path middle", []Edge{{0, 1}, {1, 2}}, 1, 0.0},
+		{"degree one", []Edge{{0, 1}, {1, 2}}, 0, 0.0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			csr := BuildCSR(mustNew(t, tc.edges))
+			if got := csr.LocalClustering(tc.v); got != tc.want {
+				t.Errorf("LocalClustering(%d) = %v, want %v", tc.v, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSummarizeExact(t *testing.T) {
+	// Triangle with a pendant vertex and one isolated vertex.
+	g := &Graph{NumV: 5, Edges: []Edge{{0, 1}, {1, 2}, {2, 0}, {2, 3}}}
+	s := Summarize(g, StatsOptions{ClusteringSample: -1})
+	if s.V != 5 || s.E != 4 {
+		t.Errorf("V,E = %d,%d want 5,4", s.V, s.E)
+	}
+	if s.SampledOn != 5 {
+		t.Errorf("SampledOn = %d, want 5 (exact)", s.SampledOn)
+	}
+	// cc: v0=1, v1=1, v2=1/3 (one of three neighbour pairs linked), v3=0, v4=0.
+	want := (1.0 + 1.0 + 1.0/3.0) / 5.0
+	if diff := s.Clustering - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("Clustering = %v, want %v", s.Clustering, want)
+	}
+	if s.IsolatedCount != 1 {
+		t.Errorf("IsolatedCount = %d, want 1", s.IsolatedCount)
+	}
+	if s.MaxDegree != 3 {
+		t.Errorf("MaxDegree = %d, want 3", s.MaxDegree)
+	}
+}
+
+func TestSummarizeSampledDeterministic(t *testing.T) {
+	edges := make([]Edge, 0, 3000)
+	for i := 0; i < 1000; i++ {
+		base := VertexID(3 * i)
+		edges = append(edges, Edge{base, base + 1}, Edge{base + 1, base + 2}, Edge{base + 2, base})
+	}
+	g := mustNew(t, edges)
+	a := Summarize(g, StatsOptions{ClusteringSample: 100, Seed: 9})
+	b := Summarize(g, StatsOptions{ClusteringSample: 100, Seed: 9})
+	if a.Clustering != b.Clustering {
+		t.Errorf("sampled clustering not deterministic: %v vs %v", a.Clustering, b.Clustering)
+	}
+	// Every vertex sits in a triangle, so any sample must report cc = 1.
+	if a.Clustering != 1.0 {
+		t.Errorf("Clustering = %v, want 1.0", a.Clustering)
+	}
+	if a.SampledOn != 100 {
+		t.Errorf("SampledOn = %d, want 100", a.SampledOn)
+	}
+}

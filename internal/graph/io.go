@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Edge-list IO. Two formats are supported:
+//
+//   - Text: one "src dst" pair per line, whitespace separated, with '#' and
+//     '%' comment lines — the SNAP / KONECT convention used for the paper's
+//     evaluation graphs.
+//   - Binary: magic "ADWB" followed by little-endian uint64 edge count and
+//     uint32 pairs; ~4x smaller and ~10x faster to load, used by the bench
+//     harness to re-stream large synthetic graphs.
+
+const binaryMagic = "ADWB"
+
+// ReadEdgeListText parses a text edge list from r. Lines beginning with '#'
+// or '%' and blank lines are skipped. Each data line must contain at least
+// two integer fields; extra fields (weights, timestamps) are ignored.
+func ReadEdgeListText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var edges []Edge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %d", lineNo, len(fields))
+		}
+		src, err := parseVertex(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: src: %w", lineNo, err)
+		}
+		dst, err := parseVertex(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: dst: %w", lineNo, err)
+		}
+		edges = append(edges, Edge{Src: src, Dst: dst})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scanning edge list: %w", err)
+	}
+	return New(edges)
+}
+
+func parseVertex(s string) (VertexID, error) {
+	u, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parsing vertex id %q: %w", s, err)
+	}
+	if u > math.MaxUint32 {
+		return 0, fmt.Errorf("vertex id %d exceeds 32-bit id space", u)
+	}
+	return VertexID(u), nil
+}
+
+// WriteEdgeListText writes g as a text edge list with a small header
+// comment.
+func WriteEdgeListText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices: %d edges: %d\n", g.NumV, len(g.Edges)); err != nil {
+		return fmt.Errorf("graph: writing header: %w", err)
+	}
+	buf := make([]byte, 0, 32)
+	for _, e := range g.Edges {
+		buf = strconv.AppendUint(buf[:0], uint64(e.Src), 10)
+		buf = append(buf, '\t')
+		buf = strconv.AppendUint(buf, uint64(e.Dst), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("graph: writing edge: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flushing edge list: %w", err)
+	}
+	return nil
+}
+
+// WriteBinary writes g in the compact binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("graph: writing magic: %w", err)
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(g.NumV))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(g.Edges)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("graph: writing header: %w", err)
+	}
+	var rec [8]byte
+	for _, e := range g.Edges {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(e.Src))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(e.Dst))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("graph: writing edge record: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flushing binary graph: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary reads a graph in the compact binary format.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q, want %q", magic, binaryMagic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	numV := binary.LittleEndian.Uint64(hdr[0:8])
+	numE := binary.LittleEndian.Uint64(hdr[8:16])
+	if numV > math.MaxUint32+1 {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds 32-bit id space", numV)
+	}
+	const maxEdges = 1 << 34 // 16 Gi edges: sanity bound against corrupt headers
+	if numE > maxEdges {
+		return nil, fmt.Errorf("graph: implausible edge count %d", numE)
+	}
+	edges := make([]Edge, numE)
+	var rec [8]byte
+	for i := range edges {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d/%d: %w", i, numE, err)
+		}
+		edges[i] = Edge{
+			Src: VertexID(binary.LittleEndian.Uint32(rec[0:4])),
+			Dst: VertexID(binary.LittleEndian.Uint32(rec[4:8])),
+		}
+	}
+	return &Graph{NumV: int(numV), Edges: edges}, nil
+}
+
+// LoadFile loads a graph from path, choosing the format by sniffing the
+// binary magic and falling back to the text parser.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	magic := make([]byte, len(binaryMagic))
+	n, err := io.ReadFull(f, magic)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, fmt.Errorf("graph: sniffing %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("graph: rewinding %s: %w", path, err)
+	}
+	if n == len(binaryMagic) && string(magic) == binaryMagic {
+		return ReadBinary(f)
+	}
+	return ReadEdgeListText(f)
+}
+
+// SaveFile writes the graph to path; binary format when the extension is
+// ".bin", text otherwise.
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		if err := WriteBinary(f, g); err != nil {
+			return err
+		}
+	} else if err := WriteEdgeListText(f, g); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("graph: closing %s: %w", path, err)
+	}
+	return nil
+}

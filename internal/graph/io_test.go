@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListText(t *testing.T) {
+	in := `# comment line
+% konect-style comment
+
+0 1
+1	2 999
+3 4 some trailing junk
+`
+	g, err := ReadEdgeListText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadEdgeListText: %v", err)
+	}
+	want := []Edge{{0, 1}, {1, 2}, {3, 4}}
+	if len(g.Edges) != len(want) {
+		t.Fatalf("edges = %v, want %v", g.Edges, want)
+	}
+	for i := range want {
+		if g.Edges[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", g.Edges, want)
+		}
+	}
+	if g.NumV != 5 {
+		t.Errorf("NumV = %d, want 5", g.NumV)
+	}
+}
+
+func TestReadEdgeListTextErrors(t *testing.T) {
+	tests := []struct {
+		name, in string
+	}{
+		{"single field", "0\n"},
+		{"non-numeric", "a b\n"},
+		{"negative", "-1 2\n"},
+		{"overflow id", "4294967296 0\n"},
+		{"empty input", ""},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadEdgeListText(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("ReadEdgeListText(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := &Graph{NumV: 4, Edges: []Edge{{0, 1}, {2, 3}, {3, 0}}}
+	var buf bytes.Buffer
+	if err := WriteEdgeListText(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeListText: %v", err)
+	}
+	back, err := ReadEdgeListText(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeListText: %v", err)
+	}
+	if back.E() != g.E() {
+		t.Fatalf("round trip lost edges: %d vs %d", back.E(), g.E())
+	}
+	for i := range g.Edges {
+		if back.Edges[i] != g.Edges[i] {
+			t.Fatalf("round trip edge %d: %v vs %v", i, back.Edges[i], g.Edges[i])
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := &Graph{NumV: 1000, Edges: []Edge{{0, 999}, {42, 17}, {999, 0}}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if back.NumV != g.NumV || back.E() != g.E() {
+		t.Fatalf("round trip header: V=%d E=%d, want V=%d E=%d", back.NumV, back.E(), g.NumV, g.E())
+	}
+	for i := range g.Edges {
+		if back.Edges[i] != g.Edges[i] {
+			t.Fatalf("round trip edge %d: %v vs %v", i, back.Edges[i], g.Edges[i])
+		}
+	}
+}
+
+func TestReadBinaryCorrupt(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"bad magic", []byte("NOPE\x00\x00\x00\x00")},
+		{"truncated header", []byte("ADWB\x01")},
+		{"truncated records", append([]byte("ADWB"),
+			// header: numV=2, numE=5, then zero edge records
+			2, 0, 0, 0, 0, 0, 0, 0, 5, 0, 0, 0, 0, 0, 0, 0)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadBinary(bytes.NewReader(tc.data)); err == nil {
+				t.Error("ReadBinary on corrupt input succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestSaveLoadFileFormats(t *testing.T) {
+	dir := t.TempDir()
+	g := &Graph{NumV: 6, Edges: []Edge{{0, 1}, {4, 5}}}
+
+	for _, name := range []string{"g.txt", "g.bin"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, g); err != nil {
+			t.Fatalf("SaveFile(%s): %v", name, err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", name, err)
+		}
+		if back.E() != g.E() {
+			t.Errorf("%s: round trip lost edges", name)
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("LoadFile on missing file succeeded, want error")
+	}
+}

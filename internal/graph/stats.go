@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Stats summarises a graph the way Table II of the paper does: vertex and
+// edge counts plus the (estimated) average local clustering coefficient ĉ.
+type Stats struct {
+	V             int
+	E             int
+	MaxDegree     int
+	AvgDegree     float64
+	Clustering    float64 // average local clustering coefficient (ĉ)
+	SampledOn     int     // number of vertices ĉ was estimated on
+	SelfLoops     int
+	IsolatedCount int
+}
+
+// StatsOptions configures Summarize.
+type StatsOptions struct {
+	// ClusteringSample bounds how many vertices the clustering coefficient
+	// is estimated on. Zero means the package default (2000); a negative
+	// value or a value >= V computes it exactly over all vertices.
+	ClusteringSample int
+	// Seed drives the vertex sample; fixed so summaries are reproducible.
+	Seed uint64
+}
+
+const defaultClusteringSample = 2000
+
+// Summarize computes Stats for g. The clustering coefficient follows the
+// paper's methodology of estimating on a sample of the graph (they cite a
+// sampled ĉ for the Web graph).
+func Summarize(g *Graph, opts StatsOptions) Stats {
+	deg := g.Degrees()
+	s := Stats{V: g.NumV, E: len(g.Edges)}
+	totalDeg := 0
+	for _, d := range deg {
+		totalDeg += d
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.IsolatedCount++
+		}
+	}
+	for _, e := range g.Edges {
+		if e.IsSelfLoop() {
+			s.SelfLoops++
+		}
+	}
+	if g.NumV > 0 {
+		s.AvgDegree = float64(totalDeg) / float64(g.NumV)
+	}
+
+	sample := opts.ClusteringSample
+	if sample == 0 {
+		sample = defaultClusteringSample
+	}
+	if sample < 0 || sample > g.NumV {
+		sample = g.NumV
+	}
+	csr := BuildCSR(g)
+	var sum float64
+	if sample == g.NumV {
+		for v := 0; v < g.NumV; v++ {
+			sum += csr.LocalClustering(VertexID(v))
+		}
+		s.SampledOn = g.NumV
+	} else {
+		rng := rand.New(rand.NewPCG(opts.Seed, 0x5eed))
+		// Sample without replacement via partial Fisher–Yates over the
+		// vertex universe.
+		perm := make([]int32, g.NumV)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		for i := 0; i < sample; i++ {
+			j := i + rng.IntN(g.NumV-i)
+			perm[i], perm[j] = perm[j], perm[i]
+			sum += csr.LocalClustering(VertexID(perm[i]))
+		}
+		s.SampledOn = sample
+	}
+	if s.SampledOn > 0 {
+		s.Clustering = sum / float64(s.SampledOn)
+	}
+	return s
+}
+
+// String renders the stats as a single Table II-style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d ĉ=%.4f maxdeg=%d avgdeg=%.2f",
+		s.V, s.E, s.Clustering, s.MaxDegree, s.AvgDegree)
+}

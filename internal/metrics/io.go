@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/adwise-go/adwise/internal/graph"
+)
+
+// Assignment persistence: a TSV of "src dst partition" rows, one per
+// streamed edge, preserving stream order. This is the interchange format
+// between cmd/adwise (which produces partitionings) and
+// cmd/adwise-process (which consumes them).
+
+// WriteTSV writes the assignment as "src\tdst\tpartition" lines preceded
+// by a header comment carrying k.
+func (a *Assignment) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# k=%d edges=%d\n", a.K, a.Len()); err != nil {
+		return fmt.Errorf("metrics: writing assignment header: %w", err)
+	}
+	buf := make([]byte, 0, 40)
+	for i, e := range a.Edges {
+		buf = strconv.AppendUint(buf[:0], uint64(e.Src), 10)
+		buf = append(buf, '\t')
+		buf = strconv.AppendUint(buf, uint64(e.Dst), 10)
+		buf = append(buf, '\t')
+		buf = strconv.AppendInt(buf, int64(a.Parts[i]), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("metrics: writing assignment row: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("metrics: flushing assignment: %w", err)
+	}
+	return nil
+}
+
+// ReadTSV parses an assignment written by WriteTSV. The header comment is
+// optional; without it, k is inferred as max(partition)+1.
+func ReadTSV(r io.Reader) (*Assignment, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	a := &Assignment{}
+	headerK := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line[0] == '#' {
+			if k, ok := parseHeaderK(line); ok {
+				headerK = k
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("metrics: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: src: %w", lineNo, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: dst: %w", lineNo, err)
+		}
+		part, err := strconv.ParseInt(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: partition: %w", lineNo, err)
+		}
+		if part < 0 {
+			return nil, fmt.Errorf("metrics: line %d: negative partition %d", lineNo, part)
+		}
+		a.Edges = append(a.Edges, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)})
+		a.Parts = append(a.Parts, int32(part))
+		if int(part)+1 > a.K {
+			a.K = int(part) + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: scanning assignment: %w", err)
+	}
+	if len(a.Edges) == 0 {
+		return nil, fmt.Errorf("metrics: empty assignment")
+	}
+	if headerK > 0 {
+		if a.K > headerK {
+			return nil, fmt.Errorf("metrics: header k=%d but partition ids reach %d", headerK, a.K-1)
+		}
+		a.K = headerK
+	}
+	return a, nil
+}
+
+func parseHeaderK(line string) (int, bool) {
+	for _, f := range strings.Fields(line) {
+		if rest, found := strings.CutPrefix(f, "k="); found {
+			if k, err := strconv.Atoi(rest); err == nil && k > 0 {
+				return k, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/adwise-go/adwise/internal/graph"
+)
+
+func TestAssignmentTSVRoundTrip(t *testing.T) {
+	a := NewAssignment(4, 3)
+	a.Add(graph.Edge{Src: 0, Dst: 1}, 2)
+	a.Add(graph.Edge{Src: 1, Dst: 2}, 0)
+	a.Add(graph.Edge{Src: 9, Dst: 0}, 3)
+
+	var buf bytes.Buffer
+	if err := a.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != 4 {
+		t.Errorf("K = %d, want 4 (from header)", back.K)
+	}
+	if back.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", back.Len())
+	}
+	for i := range a.Edges {
+		if back.Edges[i] != a.Edges[i] || back.Parts[i] != a.Parts[i] {
+			t.Fatalf("row %d: got (%v,%d), want (%v,%d)", i,
+				back.Edges[i], back.Parts[i], a.Edges[i], a.Parts[i])
+		}
+	}
+}
+
+func TestReadTSVWithoutHeader(t *testing.T) {
+	in := "0\t1\t5\n2\t3\t0\n"
+	a, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 6 {
+		t.Errorf("K = %d, want 6 (inferred max+1)", a.K)
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	tests := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"two fields", "0 1\n"},
+		{"bad src", "x 1 0\n"},
+		{"bad partition", "0 1 x\n"},
+		{"negative partition", "0 1 -2\n"},
+		{"header k too small", "# k=2\n0 1 5\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadTSV(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("ReadTSV(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestReadTSVSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# k=3 edges=1\n\n# another comment\n0\t1\t1\n"
+	a, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 1 || a.K != 3 {
+		t.Errorf("Len=%d K=%d, want 1,3", a.Len(), a.K)
+	}
+}

@@ -1,0 +1,115 @@
+// Package partition implements the streaming vertex-cut partitioning
+// framework of §II-B (edge universe, scoring, vertex cache) together with
+// the single-edge baselines the paper evaluates against: Hash, 1D/2D,
+// Grid (GraphBuilder), Greedy (PowerGraph), DBH, and HDRF, plus the
+// all-edge NE heuristic used as a landscape reference point in Figure 1.
+//
+// The window-based ADWISE algorithm builds on this framework in
+// internal/core.
+package partition
+
+import (
+	"fmt"
+
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/stream"
+	"github.com/adwise-go/adwise/internal/vcache"
+)
+
+// Partitioner is a single-edge streaming partitioner: it decides a
+// partition for each edge as it arrives, using only its vertex cache (state
+// from previous assignments).
+type Partitioner interface {
+	// Name identifies the strategy (e.g. "hdrf").
+	Name() string
+	// Assign chooses a partition for e and records the assignment in the
+	// vertex cache. The returned partition is in [0, K).
+	Assign(e graph.Edge) int
+	// Cache exposes the partitioner's vertex cache.
+	Cache() *vcache.Cache
+}
+
+// Config carries the settings shared by all streaming partitioners.
+type Config struct {
+	// K is the number of partitions in the global partitioning.
+	K int
+	// Allowed restricts assignments to a subset of partitions — the
+	// "spread" of the spotlight optimization (§III-D). Empty means all of
+	// 0..K-1.
+	Allowed []int
+	// Seed drives the hash functions of the hashing strategies.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("partition: K must be >= 1, got %d", c.K)
+	}
+	for _, p := range c.Allowed {
+		if p < 0 || p >= c.K {
+			return fmt.Errorf("partition: allowed partition %d outside [0,%d)", p, c.K)
+		}
+	}
+	return nil
+}
+
+// allowed returns the effective allowed-partition list.
+func (c Config) allowed() []int {
+	if len(c.Allowed) > 0 {
+		out := make([]int, len(c.Allowed))
+		copy(out, c.Allowed)
+		return out
+	}
+	out := make([]int, c.K)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Run drains s through p and returns the resulting assignment.
+func Run(s stream.Stream, p Partitioner) *metrics.Assignment {
+	hint := s.Remaining()
+	if hint < 0 {
+		hint = 1024
+	}
+	a := metrics.NewAssignment(p.Cache().K(), int(hint))
+	for {
+		e, ok := s.Next()
+		if !ok {
+			return a
+		}
+		a.Add(e, p.Assign(e))
+	}
+}
+
+// splitmix64 is the SplitMix64 finaliser: a fast, well-distributed 64-bit
+// mixing function used for all hashing strategies.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashVertex(seed uint64, v graph.VertexID) uint64 {
+	return splitmix64(seed ^ uint64(v))
+}
+
+func hashEdge(seed uint64, e graph.Edge) uint64 {
+	return splitmix64(seed ^ (uint64(e.Src)<<32 | uint64(e.Dst)))
+}
+
+// leastLoaded returns the partition with the smallest size among parts,
+// breaking ties by lower partition id. parts must be non-empty.
+func leastLoaded(c *vcache.Cache, parts []int) int {
+	best := parts[0]
+	bestSize := c.Size(best)
+	for _, p := range parts[1:] {
+		if s := c.Size(p); s < bestSize {
+			best, bestSize = p, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,93 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/adwise-go/adwise/internal/graph"
+)
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	edges := edgesN(6)
+	got := Interleave(edges, 2)
+	// Blocks: [e0 e1 e2] [e3 e4 e5] → round robin: e0 e3 e1 e4 e2 e5.
+	want := []graph.Edge{edges[0], edges[3], edges[1], edges[4], edges[2], edges[5]}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Interleave = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInterleaveUnevenBlocks(t *testing.T) {
+	edges := edgesN(7)
+	got := Interleave(edges, 3)
+	if len(got) != 7 {
+		t.Fatalf("length %d, want 7", len(got))
+	}
+	seen := make(map[graph.Edge]int)
+	for _, e := range got {
+		seen[e]++
+	}
+	for _, e := range edges {
+		if seen[e] != 1 {
+			t.Fatalf("edge %v appears %d times", e, seen[e])
+		}
+	}
+}
+
+func TestInterleaveDegenerate(t *testing.T) {
+	edges := edgesN(4)
+	for _, blocks := range []int{0, 1, -3} {
+		got := Interleave(edges, blocks)
+		for i := range edges {
+			if got[i] != edges[i] {
+				t.Fatalf("blocks=%d changed order", blocks)
+			}
+		}
+	}
+	// More blocks than edges degenerates to the identity as well.
+	got := Interleave(edges, 100)
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("blocks>len changed order: %v", got)
+		}
+	}
+	if out := Interleave(nil, 5); len(out) != 0 {
+		t.Errorf("Interleave(nil) = %v", out)
+	}
+}
+
+func TestInterleaveDoesNotMutateInput(t *testing.T) {
+	edges := edgesN(10)
+	Interleave(edges, 4)
+	for i := range edges {
+		if edges[i] != (graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1)}) {
+			t.Fatal("Interleave mutated its input")
+		}
+	}
+}
+
+// Property: Interleave is a permutation for any (n, blocks).
+func TestQuickInterleavePermutation(t *testing.T) {
+	f := func(n uint8, blocks int8) bool {
+		edges := edgesN(int(n))
+		out := Interleave(edges, int(blocks))
+		if len(out) != len(edges) {
+			return false
+		}
+		seen := make(map[graph.Edge]int, len(edges))
+		for _, e := range out {
+			seen[e]++
+		}
+		for _, e := range edges {
+			if seen[e] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package stream models the edge stream of the streaming-partitioning model
+// (§II-B of the paper): a single ordered pass over the edges of a graph.
+//
+// Streams expose an optional length hint, which ADWISE's adaptive window
+// condition (C2) uses to estimate the remaining per-edge latency budget
+// (the paper notes the graph size "is usually known or can be determined
+// efficiently using line count on the graph file").
+package stream
+
+import (
+	"math/rand/v2"
+
+	"github.com/adwise-go/adwise/internal/graph"
+)
+
+// Stream is a single-pass sequence of edges.
+type Stream interface {
+	// Next returns the next edge. ok is false when the stream is exhausted.
+	Next() (e graph.Edge, ok bool)
+	// Remaining returns the number of edges left, or -1 if unknown.
+	Remaining() int64
+}
+
+// Slice is an in-memory Stream over an edge slice. The zero value is an
+// exhausted stream.
+type Slice struct {
+	edges []graph.Edge
+	pos   int
+}
+
+// FromEdges returns a Stream over edges in order. The slice is not copied;
+// callers must not mutate it while streaming.
+func FromEdges(edges []graph.Edge) *Slice {
+	return &Slice{edges: edges}
+}
+
+// FromGraph returns a Stream over g's edge list in stream order.
+func FromGraph(g *graph.Graph) *Slice {
+	return &Slice{edges: g.Edges}
+}
+
+// Next implements Stream.
+func (s *Slice) Next() (graph.Edge, bool) {
+	if s.pos >= len(s.edges) {
+		return graph.Edge{}, false
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, true
+}
+
+// Remaining implements Stream.
+func (s *Slice) Remaining() int64 { return int64(len(s.edges) - s.pos) }
+
+// Reset rewinds the stream to the first edge, allowing reuse across
+// experiment repetitions.
+func (s *Slice) Reset() { s.pos = 0 }
+
+// Shuffled returns a new edge slice holding a seeded pseudo-random
+// permutation of edges. The input is not modified. Streaming partitioner
+// quality depends on stream order; experiments fix the seed so runs are
+// comparable.
+func Shuffled(edges []graph.Edge, seed uint64) []graph.Edge {
+	out := make([]graph.Edge, len(edges))
+	copy(out, edges)
+	rng := rand.New(rand.NewPCG(seed, 0x57a7e))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Interleave reorders edges by splitting them into `blocks` contiguous
+// blocks and emitting them round-robin, one edge per block. It models
+// stream orders with diluted locality — e.g. a breadth-first web crawl
+// whose frontier cycles through many sites — without the total locality
+// loss of a full shuffle. The input is not modified. blocks <= 1 returns a
+// plain copy.
+func Interleave(edges []graph.Edge, blocks int) []graph.Edge {
+	out := make([]graph.Edge, 0, len(edges))
+	if blocks <= 1 {
+		return append(out, edges...)
+	}
+	chunks := Chunks(edges, blocks)
+	for round := 0; len(out) < len(edges); round++ {
+		for _, ch := range chunks {
+			if round < len(ch) {
+				out = append(out, ch[round])
+			}
+		}
+	}
+	return out
+}
+
+// Chunks splits edges into z contiguous chunks whose sizes differ by at
+// most one, mirroring the paper's parallel loading model where each of the
+// z partitioner instances receives a disjoint chunk of the global graph.
+// It returns fewer than z chunks only when len(edges) < z.
+func Chunks(edges []graph.Edge, z int) [][]graph.Edge {
+	if z <= 0 {
+		z = 1
+	}
+	if z > len(edges) {
+		z = len(edges)
+	}
+	if z == 0 {
+		return nil
+	}
+	chunks := make([][]graph.Edge, 0, z)
+	base, extra := len(edges)/z, len(edges)%z
+	start := 0
+	for i := 0; i < z; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		chunks = append(chunks, edges[start:start+size])
+		start += size
+	}
+	return chunks
+}
+
+// Counted wraps a Stream and counts the edges drawn from it.
+type Counted struct {
+	Inner Stream
+	N     int64
+}
+
+// Next implements Stream.
+func (c *Counted) Next() (graph.Edge, bool) {
+	e, ok := c.Inner.Next()
+	if ok {
+		c.N++
+	}
+	return e, ok
+}
+
+// Remaining implements Stream.
+func (c *Counted) Remaining() int64 { return c.Inner.Remaining() }
+
+// Limit wraps a Stream and stops after max edges; used in failure-injection
+// tests to model truncated inputs.
+type Limit struct {
+	Inner Stream
+	Max   int64
+	drawn int64
+}
+
+// Next implements Stream.
+func (l *Limit) Next() (graph.Edge, bool) {
+	if l.drawn >= l.Max {
+		return graph.Edge{}, false
+	}
+	e, ok := l.Inner.Next()
+	if ok {
+		l.drawn++
+	}
+	return e, ok
+}
+
+// Remaining implements Stream.
+func (l *Limit) Remaining() int64 {
+	r := l.Inner.Remaining()
+	if r < 0 {
+		return -1
+	}
+	if left := l.Max - l.drawn; left < r {
+		return left
+	}
+	return r
+}

@@ -1,0 +1,227 @@
+// Package vcache implements the vertex cache of the streaming-partitioning
+// model (Figure 3 (iii) of the paper): for every vertex seen so far it
+// maintains the replica set, the partial degree, and globally the per-
+// partition edge counts that the balancing scores need.
+//
+// A Cache is owned by a single partitioner instance and is not safe for
+// concurrent use; the parallel-loading model of the paper (§III-D) gives
+// every partitioner its own cache.
+package vcache
+
+import (
+	"fmt"
+
+	"github.com/adwise-go/adwise/internal/bitset"
+	"github.com/adwise-go/adwise/internal/graph"
+)
+
+type entry struct {
+	replicas bitset.Set
+	degree   int32
+}
+
+// Cache is the vertex cache for k partitions.
+type Cache struct {
+	k        int
+	entries  map[graph.VertexID]*entry
+	sizes    []int64
+	assigned int64
+	maxDeg   int32
+}
+
+// New returns an empty cache for k partitions. It panics if k < 1; the
+// partition count is a static configuration error, not a runtime condition.
+func New(k int) *Cache {
+	if k < 1 {
+		panic(fmt.Sprintf("vcache: partition count must be >= 1, got %d", k))
+	}
+	return &Cache{
+		k:       k,
+		entries: make(map[graph.VertexID]*entry, 1024),
+		sizes:   make([]int64, k),
+	}
+}
+
+// K returns the partition count.
+func (c *Cache) K() int { return c.k }
+
+// Known reports whether v has been seen in any previous assignment.
+func (c *Cache) Known(v graph.VertexID) bool {
+	_, ok := c.entries[v]
+	return ok
+}
+
+// HasReplica reports whether v is replicated on partition p.
+func (c *Cache) HasReplica(v graph.VertexID, p int) bool {
+	e, ok := c.entries[v]
+	return ok && e.replicas.Contains(p)
+}
+
+// Replicas returns the replica set of v. The returned set must not be
+// modified; it is empty (capacity 0) for unknown vertices.
+func (c *Cache) Replicas(v graph.VertexID) bitset.Set {
+	if e, ok := c.entries[v]; ok {
+		return e.replicas
+	}
+	return bitset.Set{}
+}
+
+// ReplicaCount returns |Rv|.
+func (c *Cache) ReplicaCount(v graph.VertexID) int {
+	if e, ok := c.entries[v]; ok {
+		return e.replicas.Count()
+	}
+	return 0
+}
+
+// Degree returns the partial degree of v: the number of stream edges
+// incident to v assigned so far. Streaming algorithms (DBH, HDRF, ADWISE)
+// work with partial degrees because the full degree is unknown mid-stream.
+func (c *Cache) Degree(v graph.VertexID) int {
+	if e, ok := c.entries[v]; ok {
+		return int(e.degree)
+	}
+	return 0
+}
+
+// Lookup returns the partial degree and replica set of v with a single map
+// access — the hot path of per-edge scoring.
+func (c *Cache) Lookup(v graph.VertexID) (degree int, replicas bitset.Set) {
+	if e, ok := c.entries[v]; ok {
+		return int(e.degree), e.replicas
+	}
+	return 0, bitset.Set{}
+}
+
+// MaxDegree returns the largest partial degree observed so far, at least 1
+// so it can be used as a normaliser before any assignment.
+func (c *Cache) MaxDegree() int {
+	if c.maxDeg < 1 {
+		return 1
+	}
+	return int(c.maxDeg)
+}
+
+func (c *Cache) entryFor(v graph.VertexID) *entry {
+	e, ok := c.entries[v]
+	if !ok {
+		e = &entry{replicas: bitset.New(c.k)}
+		c.entries[v] = e
+	}
+	return e
+}
+
+// Assign records the assignment of edge (u,v) to partition p and returns
+// which endpoints gained a new replica. It updates replica sets, partial
+// degrees, and partition sizes. Assign panics if p is out of range — an
+// assignment outside [0,k) is a partitioner bug, not an input condition.
+func (c *Cache) Assign(e graph.Edge, p int) (newSrc, newDst bool) {
+	if p < 0 || p >= c.k {
+		panic(fmt.Sprintf("vcache: assignment to partition %d outside [0,%d)", p, c.k))
+	}
+	se := c.entryFor(e.Src)
+	newSrc = se.replicas.Add(p)
+	se.degree++
+	if se.degree > c.maxDeg {
+		c.maxDeg = se.degree
+	}
+	if e.Dst != e.Src {
+		de := c.entryFor(e.Dst)
+		newDst = de.replicas.Add(p)
+		de.degree++
+		if de.degree > c.maxDeg {
+			c.maxDeg = de.degree
+		}
+	}
+	c.sizes[p]++
+	c.assigned++
+	return newSrc, newDst
+}
+
+// Assigned returns the number of edges assigned so far.
+func (c *Cache) Assigned() int64 { return c.assigned }
+
+// Vertices returns the number of distinct vertices seen so far.
+func (c *Cache) Vertices() int { return len(c.entries) }
+
+// Size returns the number of edges assigned to partition p.
+func (c *Cache) Size(p int) int64 { return c.sizes[p] }
+
+// Sizes returns a copy of the per-partition edge counts.
+func (c *Cache) Sizes() []int64 {
+	out := make([]int64, c.k)
+	copy(out, c.sizes)
+	return out
+}
+
+// MinMaxSize returns the smallest and largest partition sizes. When a
+// partitioner is restricted to a subset of partitions (spotlight), use
+// MinMaxSizeOf instead.
+func (c *Cache) MinMaxSize() (min, max int64) {
+	min, max = c.sizes[0], c.sizes[0]
+	for _, s := range c.sizes[1:] {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return min, max
+}
+
+// MinMaxSizeOf returns the smallest and largest sizes among the given
+// partitions. It panics on an empty partition list.
+func (c *Cache) MinMaxSizeOf(parts []int) (min, max int64) {
+	if len(parts) == 0 {
+		panic("vcache: MinMaxSizeOf on empty partition list")
+	}
+	min, max = c.sizes[parts[0]], c.sizes[parts[0]]
+	for _, p := range parts[1:] {
+		s := c.sizes[p]
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return min, max
+}
+
+// Imbalance returns (maxsize−minsize)/maxsize, the ι of Eq. 4 in the
+// paper; zero when nothing is assigned.
+func (c *Cache) Imbalance() float64 {
+	min, max := c.MinMaxSize()
+	if max == 0 {
+		return 0
+	}
+	return float64(max-min) / float64(max)
+}
+
+// SumReplicas returns Σ_v |Rv| over all seen vertices: the numerator of the
+// replication-degree objective (Eq. 1).
+func (c *Cache) SumReplicas() int64 {
+	var sum int64
+	for _, e := range c.entries {
+		sum += int64(e.replicas.Count())
+	}
+	return sum
+}
+
+// ReplicationDegree returns the mean replica count over seen vertices
+// (Eq. 1); zero before any assignment.
+func (c *Cache) ReplicationDegree() float64 {
+	if len(c.entries) == 0 {
+		return 0
+	}
+	return float64(c.SumReplicas()) / float64(len(c.entries))
+}
+
+// ForEachVertex calls fn for every seen vertex with its replica set.
+// Iteration order is unspecified.
+func (c *Cache) ForEachVertex(fn func(v graph.VertexID, replicas bitset.Set)) {
+	for v, e := range c.entries {
+		fn(v, e.replicas)
+	}
+}

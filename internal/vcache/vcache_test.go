@@ -1,0 +1,213 @@
+package vcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/adwise-go/adwise/internal/bitset"
+	"github.com/adwise-go/adwise/internal/graph"
+)
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestAssignTracksReplicasAndDegrees(t *testing.T) {
+	c := New(4)
+	e := graph.Edge{Src: 1, Dst: 2}
+
+	newSrc, newDst := c.Assign(e, 0)
+	if !newSrc || !newDst {
+		t.Error("first assignment should create replicas for both endpoints")
+	}
+	newSrc, newDst = c.Assign(e, 0)
+	if newSrc || newDst {
+		t.Error("repeat assignment to same partition created replicas")
+	}
+	newSrc, newDst = c.Assign(e, 3)
+	if !newSrc || !newDst {
+		t.Error("assignment to a new partition should create replicas")
+	}
+
+	if got := c.Degree(1); got != 3 {
+		t.Errorf("Degree(1) = %d, want 3", got)
+	}
+	if got := c.ReplicaCount(1); got != 2 {
+		t.Errorf("ReplicaCount(1) = %d, want 2", got)
+	}
+	if !c.HasReplica(1, 0) || !c.HasReplica(1, 3) || c.HasReplica(1, 2) {
+		t.Error("HasReplica wrong")
+	}
+	if got := c.Assigned(); got != 3 {
+		t.Errorf("Assigned = %d, want 3", got)
+	}
+	if got := c.Size(0); got != 2 {
+		t.Errorf("Size(0) = %d, want 2", got)
+	}
+	if got := c.Vertices(); got != 2 {
+		t.Errorf("Vertices = %d, want 2", got)
+	}
+}
+
+func TestAssignSelfLoop(t *testing.T) {
+	c := New(2)
+	newSrc, newDst := c.Assign(graph.Edge{Src: 5, Dst: 5}, 1)
+	if !newSrc {
+		t.Error("self-loop src replica not created")
+	}
+	if newDst {
+		t.Error("self-loop dst counted separately")
+	}
+	if got := c.Degree(5); got != 1 {
+		t.Errorf("Degree(5) = %d, want 1 (self-loop counts once)", got)
+	}
+}
+
+func TestAssignPanicsOutOfRange(t *testing.T) {
+	c := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Assign to partition 2 of [0,2) did not panic")
+		}
+	}()
+	c.Assign(graph.Edge{Src: 0, Dst: 1}, 2)
+}
+
+func TestUnknownVertexDefaults(t *testing.T) {
+	c := New(3)
+	if c.Known(9) {
+		t.Error("Known(9) = true on empty cache")
+	}
+	if got := c.Degree(9); got != 0 {
+		t.Errorf("Degree(9) = %d, want 0", got)
+	}
+	if got := c.ReplicaCount(9); got != 0 {
+		t.Errorf("ReplicaCount(9) = %d, want 0", got)
+	}
+	if !c.Replicas(9).Empty() {
+		t.Error("Replicas(9) not empty")
+	}
+	deg, reps := c.Lookup(9)
+	if deg != 0 || !reps.Empty() {
+		t.Error("Lookup(9) nonzero")
+	}
+	if got := c.MaxDegree(); got != 1 {
+		t.Errorf("MaxDegree on empty cache = %d, want 1 (normaliser floor)", got)
+	}
+}
+
+func TestSizesAndImbalance(t *testing.T) {
+	c := New(3)
+	c.Assign(graph.Edge{Src: 0, Dst: 1}, 0)
+	c.Assign(graph.Edge{Src: 1, Dst: 2}, 0)
+	c.Assign(graph.Edge{Src: 2, Dst: 3}, 1)
+
+	min, max := c.MinMaxSize()
+	if min != 0 || max != 2 {
+		t.Errorf("MinMaxSize = %d,%d want 0,2", min, max)
+	}
+	if got := c.Imbalance(); got != 1.0 {
+		t.Errorf("Imbalance = %v, want 1.0", got)
+	}
+	min, max = c.MinMaxSizeOf([]int{0, 1})
+	if min != 1 || max != 2 {
+		t.Errorf("MinMaxSizeOf([0,1]) = %d,%d want 1,2", min, max)
+	}
+	sizes := c.Sizes()
+	if sizes[0] != 2 || sizes[1] != 1 || sizes[2] != 0 {
+		t.Errorf("Sizes = %v", sizes)
+	}
+	sizes[0] = 99
+	if c.Size(0) != 2 {
+		t.Error("Sizes returned aliased storage")
+	}
+}
+
+func TestMinMaxSizeOfEmptyPanics(t *testing.T) {
+	c := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMaxSizeOf(nil) did not panic")
+		}
+	}()
+	c.MinMaxSizeOf(nil)
+}
+
+func TestImbalanceEmptyCache(t *testing.T) {
+	if got := New(4).Imbalance(); got != 0 {
+		t.Errorf("Imbalance on empty cache = %v, want 0", got)
+	}
+}
+
+func TestReplicationDegree(t *testing.T) {
+	c := New(4)
+	if got := c.ReplicationDegree(); got != 0 {
+		t.Errorf("ReplicationDegree on empty = %v", got)
+	}
+	// Vertex 0 on two partitions, vertices 1 and 2 on one each.
+	c.Assign(graph.Edge{Src: 0, Dst: 1}, 0)
+	c.Assign(graph.Edge{Src: 0, Dst: 2}, 1)
+	if got := c.SumReplicas(); got != 4 {
+		t.Errorf("SumReplicas = %d, want 4", got)
+	}
+	if got := c.ReplicationDegree(); got != 4.0/3.0 {
+		t.Errorf("ReplicationDegree = %v, want 4/3", got)
+	}
+}
+
+func TestForEachVertex(t *testing.T) {
+	c := New(2)
+	c.Assign(graph.Edge{Src: 0, Dst: 1}, 0)
+	c.Assign(graph.Edge{Src: 1, Dst: 2}, 1)
+	seen := make(map[graph.VertexID]int)
+	c.ForEachVertex(func(v graph.VertexID, replicas bitset.Set) {
+		seen[v] = replicas.Count()
+	})
+	want := map[graph.VertexID]int{0: 1, 1: 2, 2: 1}
+	if len(seen) != len(want) {
+		t.Fatalf("visited %v, want %v", seen, want)
+	}
+	for v, c := range want {
+		if seen[v] != c {
+			t.Errorf("vertex %d: %d replicas, want %d", v, seen[v], c)
+		}
+	}
+}
+
+// Property: after any assignment sequence, Σ partition sizes == Assigned
+// and MaxDegree >= every vertex degree.
+func TestQuickCacheInvariants(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		const k = 8
+		c := New(k)
+		for i, pr := range pairs {
+			e := graph.Edge{
+				Src: graph.VertexID(pr % 50),
+				Dst: graph.VertexID((pr >> 8) % 50),
+			}
+			c.Assign(e, i%k)
+		}
+		var total int64
+		for p := 0; p < k; p++ {
+			total += c.Size(p)
+		}
+		if total != c.Assigned() {
+			return false
+		}
+		okDeg := true
+		c.ForEachVertex(func(v graph.VertexID, _ bitset.Set) {
+			if c.Degree(v) > c.MaxDegree() {
+				okDeg = false
+			}
+		})
+		return okDeg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+package adwise
+
+import (
+	"github.com/adwise-go/adwise/internal/bench"
+	"github.com/adwise-go/adwise/internal/engine"
+)
+
+// Processing engine re-exports: a vertex-cut master/mirror engine that
+// really executes the paper's four workloads over a partitioned graph and
+// accounts a deterministic simulated cluster latency alongside.
+type (
+	// Engine executes workloads over a partitioning.
+	Engine = engine.Engine
+	// CostModel maps work to simulated cluster time.
+	CostModel = engine.CostModel
+	// Report summarises one workload execution (supersteps, messages,
+	// simulated latency).
+	Report = engine.Report
+	// CycleSearchConfig configures the subgraph-isomorphism workload.
+	CycleSearchConfig = engine.CycleSearchConfig
+	// CycleSearchResult reports found circles.
+	CycleSearchResult = engine.CycleSearchResult
+	// CliqueSearchConfig configures the random-walker clique workload.
+	CliqueSearchConfig = engine.CliqueSearchConfig
+	// CliqueSearchResult reports found cliques.
+	CliqueSearchResult = engine.CliqueSearchResult
+)
+
+// NewEngine builds an engine from a partitioning. numV fixes the vertex
+// universe (use the source graph's NumV); workers bounds parallelism
+// (0 = GOMAXPROCS).
+func NewEngine(a *Assignment, numV int, cost CostModel, workers int) (*Engine, error) {
+	return engine.New(a, numV, cost, workers)
+}
+
+// DefaultCostModel returns the engine's 1GbE-cluster-like calibration.
+func DefaultCostModel() CostModel { return engine.DefaultCostModel() }
+
+// BenchCostModel returns the calibration the benchmark harness uses for
+// the Figure 7 experiments.
+func BenchCostModel() CostModel { return bench.DefaultBenchCostModel() }
+
+// PageRankReference computes PageRank sequentially — the validation oracle
+// for the engine's distributed execution.
+var PageRankReference = engine.PageRankReference
+
+// ValidColoring reports whether colors is a proper coloring of g.
+var ValidColoring = engine.ValidColoring
+
+// ComponentsReference computes connected-component labels sequentially —
+// the oracle for the engine's label propagation.
+var ComponentsReference = engine.ComponentsReference
+
+// SSSPReference computes unit-weight shortest paths sequentially (BFS) —
+// the oracle for the engine's Bellman–Ford execution.
+var SSSPReference = engine.SSSPReference
