@@ -33,6 +33,7 @@ import (
 	"github.com/adwise-go/adwise/internal/graph"
 	"github.com/adwise-go/adwise/internal/metrics"
 	"github.com/adwise-go/adwise/internal/partition"
+	"github.com/adwise-go/adwise/internal/runtime"
 	"github.com/adwise-go/adwise/internal/stream"
 )
 
@@ -122,27 +123,10 @@ func Baselines() []Baseline {
 		BaselineGreedy, BaselineDBH, BaselineHDRF}
 }
 
-// NewBaseline constructs a named single-edge streaming partitioner. HDRF
-// uses the authors' recommended λ=1.1.
+// NewBaseline constructs a named single-edge streaming partitioner through
+// the strategy registry. HDRF uses the authors' recommended λ=1.1.
 func NewBaseline(name Baseline, cfg BaselineConfig) (StreamingPartitioner, error) {
-	switch name {
-	case BaselineHash:
-		return partition.NewHash(cfg)
-	case BaselineOneDim:
-		return partition.NewOneDim(cfg)
-	case BaselineTwoDim:
-		return partition.NewTwoDim(cfg)
-	case BaselineGrid:
-		return partition.NewGrid(cfg)
-	case BaselineGreedy:
-		return partition.NewGreedy(cfg)
-	case BaselineDBH:
-		return partition.NewDBH(cfg)
-	case BaselineHDRF:
-		return partition.NewHDRF(cfg, partition.HDRFDefaultLambda)
-	default:
-		return nil, fmt.Errorf("adwise: unknown baseline %q", name)
-	}
+	return runtime.NewPartitioner(string(name), cfg)
 }
 
 // NewHDRF constructs an HDRF partitioner with an explicit balancing
@@ -222,20 +206,50 @@ func Shuffle(edges []Edge, seed uint64) []Edge { return stream.Shuffled(edges, s
 // contiguous blocks.
 func Interleave(edges []Edge, blocks int) []Edge { return stream.Interleave(edges, blocks) }
 
-// Spotlight configuration and runner, re-exported from core.
+// Unified strategy runtime, re-exported from internal/runtime: every
+// partitioner — baselines and ADWISE alike — is constructible by name
+// through one registry and runs behind one interface.
+type (
+	// Strategy is a named, stats-reporting partitioner instance: one Run
+	// over an edge stream produces an assignment.
+	Strategy = runtime.Strategy
+	// StrategySpec carries the construction knobs shared by all
+	// strategies (K, allowed spread, seed, ADWISE latency/window, ...).
+	StrategySpec = runtime.Spec
+	// StrategyStats is the strategy-independent account of one pass.
+	StrategyStats = runtime.Stats
+)
+
+// NewStrategy constructs the named strategy ("hash", "1d", "2d", "grid",
+// "greedy", "dbh", "hdrf", "adwise", "ne") from the registry.
+func NewStrategy(name string, spec StrategySpec) (Strategy, error) {
+	return runtime.New(name, spec)
+}
+
+// StrategyNames lists every registered strategy, sorted.
+func StrategyNames() []string { return runtime.Names() }
+
+// Spotlight configuration and runner, re-exported from the strategy
+// runtime.
 type (
 	// SpotlightConfig configures parallel loading with restricted spread.
-	SpotlightConfig = core.SpotlightConfig
+	SpotlightConfig = runtime.SpotlightConfig
 	// Runner is one partitioner instance under spotlight.
-	Runner = core.Runner
+	Runner = runtime.Runner
 )
 
 // RunSpotlight partitions edges with Z parallel instances of restricted
 // spread (§III-D of the paper). build receives the instance index and its
 // allowed partitions.
 func RunSpotlight(edges []Edge, cfg SpotlightConfig, build func(i int, allowed []int) (Runner, error)) (*Assignment, error) {
-	return core.RunSpotlight(edges, cfg, build)
+	return runtime.RunSpotlight(edges, cfg, build)
+}
+
+// RunStrategySpotlight partitions edges with Z registry-built instances of
+// the named strategy, each restricted to its spotlight spread.
+func RunStrategySpotlight(name string, edges []Edge, cfg SpotlightConfig, spec StrategySpec) (*Assignment, error) {
+	return runtime.RunStrategySpotlight(name, edges, cfg, spec)
 }
 
 // AsRunner adapts a single-edge partitioner to a spotlight Runner.
-func AsRunner(p StreamingPartitioner) Runner { return core.StreamingRunner(p) }
+func AsRunner(p StreamingPartitioner) Runner { return runtime.StreamingRunner(p) }

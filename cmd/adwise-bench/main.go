@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	adwise "github.com/adwise-go/adwise"
 )
@@ -34,9 +35,21 @@ func run(args []string) error {
 		z       = fs.Int("z", 8, "parallel partitioner instances")
 		spread  = fs.Int("spread", 4, "spotlight spread (partitions per instance)")
 		verbose = fs.Bool("v", false, "print progress lines to stderr")
+		profile = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			return fmt.Errorf("creating cpu profile %s: %w", *profile, err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cfg := adwise.DefaultExperimentConfig()

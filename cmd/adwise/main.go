@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	adwise "github.com/adwise-go/adwise"
@@ -33,7 +34,7 @@ func run(args []string) error {
 	var (
 		in      = fs.String("in", "", "input graph file (text edge list or .bin)")
 		k       = fs.Int("k", 32, "number of partitions")
-		algo    = fs.String("algo", "adwise", "strategy: adwise, hash, 1d, 2d, grid, greedy, dbh, hdrf, ne")
+		algo    = fs.String("algo", "adwise", "strategy: "+strings.Join(adwise.StrategyNames(), ", "))
 		latency = fs.Duration("latency", 0, "ADWISE latency preference L (0 = single-edge behaviour)")
 		window  = fs.Int("window", 0, "ADWISE fixed window size (overrides -latency adaptation)")
 		z       = fs.Int("z", 1, "parallel partitioner instances")
@@ -90,43 +91,17 @@ func run(args []string) error {
 }
 
 func partitionGraph(g *adwise.Graph, algo string, k, z, spread int, seed uint64, latency time.Duration, window int) (*adwise.Assignment, error) {
-	if algo == "ne" {
-		return adwise.PartitionNE(g, k, seed)
-	}
+	spec := adwise.StrategySpec{K: k, Seed: seed, Latency: latency, Window: window}
 	if z <= 1 {
-		return partitionSingle(g, algo, k, nil, seed, latency, window)
+		s, err := adwise.NewStrategy(algo, spec)
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(adwise.StreamGraph(g))
 	}
 	if spread == 0 {
 		spread = k / z
 	}
 	cfg := adwise.SpotlightConfig{K: k, Z: z, Spread: spread}
-	return adwise.RunSpotlight(g.Edges, cfg, func(i int, allowed []int) (adwise.Runner, error) {
-		return buildRunner(algo, k, allowed, seed+uint64(i), latency, window)
-	})
-}
-
-func partitionSingle(g *adwise.Graph, algo string, k int, allowed []int, seed uint64, latency time.Duration, window int) (*adwise.Assignment, error) {
-	r, err := buildRunner(algo, k, allowed, seed, latency, window)
-	if err != nil {
-		return nil, err
-	}
-	return r.Run(adwise.StreamGraph(g))
-}
-
-func buildRunner(algo string, k int, allowed []int, seed uint64, latency time.Duration, window int) (adwise.Runner, error) {
-	if algo == "adwise" {
-		opts := []adwise.Option{adwise.WithLatencyPreference(latency)}
-		if len(allowed) > 0 {
-			opts = append(opts, adwise.WithAllowedPartitions(allowed))
-		}
-		if window > 0 {
-			opts = append(opts, adwise.WithInitialWindow(window), adwise.WithFixedWindow())
-		}
-		return adwise.NewADWISE(k, opts...)
-	}
-	p, err := adwise.NewBaseline(adwise.Baseline(algo), adwise.BaselineConfig{K: k, Allowed: allowed, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	return adwise.AsRunner(p), nil
+	return adwise.RunStrategySpotlight(algo, g.Edges, cfg, spec)
 }

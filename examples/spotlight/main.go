@@ -28,20 +28,10 @@ func main() {
 	for _, spread := range []int{32, 16, 8, 4} {
 		for _, strategy := range []string{"hdrf", "adwise"} {
 			cfg := adwise.SpotlightConfig{K: k, Z: z, Spread: spread}
-			a, err := adwise.RunSpotlight(g.Edges, cfg, func(i int, allowed []int) (adwise.Runner, error) {
-				if strategy == "hdrf" {
-					p, err := adwise.NewBaseline(adwise.BaselineHDRF,
-						adwise.BaselineConfig{K: k, Allowed: allowed, Seed: uint64(i)})
-					if err != nil {
-						return nil, err
-					}
-					return adwise.AsRunner(p), nil
-				}
-				return adwise.NewADWISE(k,
-					adwise.WithAllowedPartitions(allowed),
-					adwise.WithInitialWindow(64),
-					adwise.WithFixedWindow())
-			})
+			// One registry call covers both strategies: HDRF ignores the
+			// window knob, ADWISE runs a fixed 64-edge window.
+			a, err := adwise.RunStrategySpotlight(strategy, g.Edges, cfg,
+				adwise.StrategySpec{K: k, Window: 64})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,3 @@
+module github.com/adwise-go/adwise
+
+go 1.24

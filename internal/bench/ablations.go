@@ -7,6 +7,7 @@ import (
 	"github.com/adwise-go/adwise/internal/core"
 	"github.com/adwise-go/adwise/internal/gen"
 	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/runtime"
 	"github.com/adwise-go/adwise/internal/stream"
 )
 
@@ -163,28 +164,20 @@ func AblationOrder(cfg Config) (*Table, error) {
 		case "shuffled":
 			edges = stream.Shuffled(g.Edges, cfg.Seed+1)
 		}
-		for _, strat := range []string{"hdrf", "adwise"} {
-			var (
-				a   *metrics.Assignment
-				err error
-			)
-			if strat == "hdrf" {
-				r, e := cfg.runBaseline("hdrf", edges)
-				a, err = r.Assignment, e
-			} else {
-				scfg := cfg.spotlightConfig()
-				a, err = core.RunSpotlight(edges, scfg, func(i int, allowed []int) (core.Runner, error) {
-					return core.New(cfg.K,
-						core.WithAllowedPartitions(allowed),
-						core.WithInitialWindow(128), core.WithFixedWindow())
-				})
-			}
+		for _, v := range []struct {
+			strat string
+			spec  runtime.Spec
+		}{
+			{"hdrf", runtime.Spec{K: cfg.K, Seed: cfg.Seed}},
+			{"adwise", runtime.Spec{K: cfg.K, Seed: cfg.Seed, Window: 128}},
+		} {
+			a, err := runtime.RunStrategySpotlight(v.strat, edges, cfg.spotlightConfig(), v.spec)
 			if err != nil {
-				return nil, fmt.Errorf("bench: ablation-order %s/%s: %w", order, strat, err)
+				return nil, fmt.Errorf("bench: ablation-order %s/%s: %w", order, v.strat, err)
 			}
 			rf := metrics.Summarize(a).ReplicationDegree
-			t.AddRow(order, strat, rf)
-			cfg.progressf("ablation-order: %s %s RF=%.3f", order, strat, rf)
+			t.AddRow(order, v.strat, rf)
+			cfg.progressf("ablation-order: %s %s RF=%.3f", order, v.strat, rf)
 		}
 	}
 	return t, nil

@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/adwise-go/adwise/internal/core"
 	"github.com/adwise-go/adwise/internal/gen"
 	"github.com/adwise-go/adwise/internal/metrics"
-	"github.com/adwise-go/adwise/internal/partition"
+	"github.com/adwise-go/adwise/internal/runtime"
 	"github.com/adwise-go/adwise/internal/stream"
 )
 
@@ -34,53 +33,36 @@ func Figure1(cfg Config) (*Table, error) {
 	}
 
 	type entry struct {
-		name, class string
-		run         func() (*metrics.Assignment, error)
+		label, class string
+		spec         runtime.Spec
+		strategy     string
 	}
-	pcfg := partition.Config{K: cfg.K, Seed: cfg.Seed}
-	single := func(build func() (partition.Partitioner, error)) func() (*metrics.Assignment, error) {
-		return func() (*metrics.Assignment, error) {
-			p, err := build()
-			if err != nil {
-				return nil, err
-			}
-			return partition.Run(stream.FromEdges(edges), p), nil
-		}
+	base := runtime.Spec{K: cfg.K, Seed: cfg.Seed}
+	var entries []entry
+	for _, name := range runtime.Baselines() {
+		entries = append(entries, entry{name, "single-edge", base, name})
 	}
-	adwise := func(w int) func() (*metrics.Assignment, error) {
-		return func() (*metrics.Assignment, error) {
-			ad, err := core.New(cfg.K, core.WithInitialWindow(w), core.WithFixedWindow())
-			if err != nil {
-				return nil, err
-			}
-			return ad.Run(stream.FromEdges(edges))
-		}
+	for _, w := range []int{16, 128, 1024} {
+		spec := base
+		spec.Window = w
+		entries = append(entries, entry{fmt.Sprintf("adwise w=%d", w), "window", spec, "adwise"})
 	}
-	entries := []entry{
-		{"hash", "single-edge", single(func() (partition.Partitioner, error) { return partition.NewHash(pcfg) })},
-		{"1d", "single-edge", single(func() (partition.Partitioner, error) { return partition.NewOneDim(pcfg) })},
-		{"2d", "single-edge", single(func() (partition.Partitioner, error) { return partition.NewTwoDim(pcfg) })},
-		{"grid", "single-edge", single(func() (partition.Partitioner, error) { return partition.NewGrid(pcfg) })},
-		{"dbh", "single-edge", single(func() (partition.Partitioner, error) { return partition.NewDBH(pcfg) })},
-		{"greedy", "single-edge", single(func() (partition.Partitioner, error) { return partition.NewGreedy(pcfg) })},
-		{"hdrf", "single-edge", single(func() (partition.Partitioner, error) { return partition.NewHDRF(pcfg, partition.HDRFDefaultLambda) })},
-		{"adwise w=16", "window", adwise(16)},
-		{"adwise w=128", "window", adwise(128)},
-		{"adwise w=1024", "window", adwise(1024)},
-		{"ne", "all-edge", func() (*metrics.Assignment, error) {
-			return partition.NE{}.Partition(g, cfg.K, cfg.Seed)
-		}},
-	}
+	entries = append(entries, entry{"ne", "all-edge", base, "ne"})
+
 	for _, e := range entries {
-		start := time.Now()
-		a, err := e.run()
+		p, err := runtime.New(e.strategy, e.spec)
 		if err != nil {
-			return nil, fmt.Errorf("bench: fig1 %s: %w", e.name, err)
+			return nil, fmt.Errorf("bench: fig1 %s: %w", e.label, err)
+		}
+		start := time.Now()
+		a, err := p.Run(stream.FromEdges(edges))
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig1 %s: %w", e.label, err)
 		}
 		lat := time.Since(start)
 		s := metrics.Summarize(a)
-		t.AddRow(e.name, e.class, lat, s.ReplicationDegree, s.Imbalance)
-		cfg.progressf("fig1: %-14s RF=%.3f lat=%v", e.name, s.ReplicationDegree, lat.Round(time.Millisecond))
+		t.AddRow(e.label, e.class, lat, s.ReplicationDegree, s.Imbalance)
+		cfg.progressf("fig1: %-14s RF=%.3f lat=%v", e.label, s.ReplicationDegree, lat.Round(time.Millisecond))
 	}
 	t.Notes = append(t.Notes,
 		"single-edge streamers minimize latency; window/all-edge trade latency for quality (lower RF)")

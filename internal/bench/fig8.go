@@ -3,10 +3,9 @@ package bench
 import (
 	"fmt"
 
-	"github.com/adwise-go/adwise/internal/core"
 	"github.com/adwise-go/adwise/internal/gen"
 	"github.com/adwise-go/adwise/internal/metrics"
-	"github.com/adwise-go/adwise/internal/partition"
+	"github.com/adwise-go/adwise/internal/runtime"
 )
 
 // Figure8 regenerates Figure 8: the efficacy of the spotlight optimization
@@ -40,10 +39,12 @@ func Figure8(cfg Config) (*Table, error) {
 		row := []any{name}
 		var first, last float64
 		for i, spread := range spreads {
-			scfg := core.SpotlightConfig{K: cfg.K, Z: cfg.Z, Spread: spread}
-			a, err := core.RunSpotlight(edges, scfg, func(inst int, allowed []int) (core.Runner, error) {
-				return fig8Runner(cfg, name, inst, allowed)
-			})
+			scfg := runtime.SpotlightConfig{K: cfg.K, Z: cfg.Z, Spread: spread}
+			// A moderate fixed window keeps the ADWISE sweep deterministic
+			// and isolates the spread effect from the latency-adaptation
+			// loop; the single-edge strategies ignore the window knob.
+			a, err := runtime.RunStrategySpotlight(name, edges, scfg,
+				runtime.Spec{K: cfg.K, Seed: cfg.Seed, Window: 64})
 			if err != nil {
 				return nil, fmt.Errorf("bench: fig8 %s spread=%d: %w", name, spread, err)
 			}
@@ -63,31 +64,4 @@ func Figure8(cfg Config) (*Table, error) {
 	t.Notes = append(t.Notes,
 		"reduction = RF drop going from full spread (classic parallel loading) to the minimal spotlight spread k/z")
 	return t, nil
-}
-
-func fig8Runner(cfg Config, name string, inst int, allowed []int) (core.Runner, error) {
-	switch name {
-	case "dbh":
-		d, err := partition.NewDBH(partition.Config{K: cfg.K, Allowed: allowed, Seed: cfg.Seed + uint64(inst)})
-		if err != nil {
-			return nil, err
-		}
-		return core.StreamingRunner(d), nil
-	case "hdrf":
-		h, err := partition.NewHDRF(partition.Config{K: cfg.K, Allowed: allowed, Seed: cfg.Seed + uint64(inst)}, partition.HDRFDefaultLambda)
-		if err != nil {
-			return nil, err
-		}
-		return core.StreamingRunner(h), nil
-	case "adwise":
-		// A moderate fixed window keeps the sweep deterministic and
-		// isolates the spread effect from the latency-adaptation loop.
-		return core.New(cfg.K,
-			core.WithAllowedPartitions(allowed),
-			core.WithInitialWindow(64),
-			core.WithFixedWindow(),
-		)
-	default:
-		return nil, fmt.Errorf("bench: fig8: unknown strategy %q", name)
-	}
 }

@@ -8,7 +8,7 @@ import (
 	"github.com/adwise-go/adwise/internal/gen"
 	"github.com/adwise-go/adwise/internal/graph"
 	"github.com/adwise-go/adwise/internal/metrics"
-	"github.com/adwise-go/adwise/internal/partition"
+	"github.com/adwise-go/adwise/internal/runtime"
 	"github.com/adwise-go/adwise/internal/stream"
 )
 
@@ -43,64 +43,35 @@ func (c Config) evalGraph(preset gen.Preset) (*graph.Graph, []graph.Edge, error)
 	return g, edges, nil
 }
 
-func (c Config) spotlightConfig() core.SpotlightConfig {
-	return core.SpotlightConfig{K: c.K, Z: c.Z, Spread: c.Spread}
+func (c Config) spotlightConfig() runtime.SpotlightConfig {
+	return runtime.SpotlightConfig{K: c.K, Z: c.Z, Spread: c.Spread}
+}
+
+// runStrategy partitions edges with the named registry strategy under the
+// paper's parallel-loading setup.
+func (c Config) runStrategy(name string, edges []graph.Edge, spec runtime.Spec) (StrategyResult, error) {
+	spec.K = c.K
+	if spec.Seed == 0 {
+		spec.Seed = c.Seed
+	}
+	start := time.Now()
+	a, err := runtime.RunStrategySpotlight(name, edges, c.spotlightConfig(), spec)
+	if err != nil {
+		return StrategyResult{}, fmt.Errorf("bench: running %s: %w", name, err)
+	}
+	return StrategyResult{
+		Name:        name,
+		LatencyPref: spec.Latency,
+		Latency:     time.Since(start),
+		Summary:     metrics.Summarize(a),
+		Assignment:  a,
+	}, nil
 }
 
 // runBaseline partitions edges with a named single-edge baseline under the
 // paper's parallel-loading setup.
 func (c Config) runBaseline(name string, edges []graph.Edge) (StrategyResult, error) {
-	build := func(i int, allowed []int) (core.Runner, error) {
-		pcfg := partition.Config{K: c.K, Allowed: allowed, Seed: c.Seed + uint64(i)}
-		var (
-			p   partition.Partitioner
-			err error
-		)
-		switch name {
-		case "hash":
-			p, err = partition.NewHash(pcfg)
-		case "1d":
-			p, err = partition.NewOneDim(pcfg)
-		case "2d":
-			p, err = partition.NewTwoDim(pcfg)
-		case "grid":
-			p, err = partition.NewGrid(pcfg)
-		case "greedy":
-			p, err = partition.NewGreedy(pcfg)
-		case "dbh":
-			p, err = partition.NewDBH(pcfg)
-		case "hdrf":
-			p, err = partition.NewHDRF(pcfg, partition.HDRFDefaultLambda)
-		default:
-			return nil, fmt.Errorf("bench: unknown baseline %q", name)
-		}
-		if err != nil {
-			return nil, err
-		}
-		return core.StreamingRunner(p), nil
-	}
-	start := time.Now()
-	a, err := core.RunSpotlight(edges, c.spotlightConfig(), build)
-	if err != nil {
-		return StrategyResult{}, fmt.Errorf("bench: running %s: %w", name, err)
-	}
-	return StrategyResult{
-		Name:       name,
-		Latency:    time.Since(start),
-		Summary:    metrics.Summarize(a),
-		Assignment: a,
-	}, nil
-}
-
-// adwiseOptions assembles the per-instance ADWISE options for a run with
-// latency preference latencyPref.
-func (c Config) adwiseOptions(preset gen.Preset, latencyPref time.Duration, chunkEdges int64) []core.Option {
-	opts := []core.Option{
-		WithPresetClustering(preset),
-		core.WithLatencyPreference(latencyPref),
-		core.WithTotalEdgesHint(chunkEdges),
-	}
-	return opts
+	return c.runStrategy(name, edges, runtime.Spec{})
 }
 
 // WithPresetClustering disables the clustering score on Orkut, as the
@@ -115,23 +86,10 @@ func WithPresetClustering(preset gen.Preset) core.Option {
 // under the parallel-loading setup. Each of the Z instances adapts its own
 // window against the shared deadline L.
 func (c Config) runADWISE(preset gen.Preset, edges []graph.Edge, latencyPref time.Duration) (StrategyResult, error) {
-	chunkEdges := int64(len(edges)/c.Z + 1)
-	build := func(i int, allowed []int) (core.Runner, error) {
-		return core.New(c.K, append(c.adwiseOptions(preset, latencyPref, chunkEdges),
-			core.WithAllowedPartitions(allowed))...)
-	}
-	start := time.Now()
-	a, err := core.RunSpotlight(edges, c.spotlightConfig(), build)
-	if err != nil {
-		return StrategyResult{}, fmt.Errorf("bench: running adwise(L=%v): %w", latencyPref, err)
-	}
-	return StrategyResult{
-		Name:        "adwise",
-		LatencyPref: latencyPref,
-		Latency:     time.Since(start),
-		Summary:     metrics.Summarize(a),
-		Assignment:  a,
-	}, nil
+	return c.runStrategy("adwise", edges, runtime.Spec{
+		Latency: latencyPref,
+		Options: []core.Option{WithPresetClustering(preset)},
+	})
 }
 
 // partitionSweep runs the Figure 7 strategy set on edges: DBH, HDRF, then

@@ -34,6 +34,22 @@ func New(n int) Set {
 	}
 }
 
+// View wraps an existing word slice as a set of capacity n without
+// copying. The returned set aliases words: mutations through either are
+// visible to both, and the view stays valid only as long as the backing
+// slice does. Callers use it to expose bit ranges of a larger arena (e.g.
+// the vertex cache's replica table) as Sets without per-call allocation.
+func View(words []uint64, n int) Set {
+	if n < 0 {
+		n = 0
+	}
+	need := (n + wordBits - 1) / wordBits
+	if len(words) < need {
+		n = len(words) * wordBits
+	}
+	return Set{words: words, n: n}
+}
+
 // Cap returns the capacity of the set in bits.
 func (s Set) Cap() int { return s.n }
 

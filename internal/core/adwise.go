@@ -255,12 +255,18 @@ func (a *Adwise) Run(s stream.Stream) (*metrics.Assignment, error) {
 	}
 	a.ran = true
 
-	hint := s.Remaining()
+	// The window refill draws one edge at a time; buffering batches the
+	// pulls from the underlying stream (file, chunk, …) and devirtualizes
+	// the per-edge call to a concrete method. Buffered.Remaining counts
+	// buffered-but-unconsumed edges, so condition (C2) stays exact.
+	src := stream.NewBuffered(s, stream.DefaultBatchSize)
+
+	hint := src.Remaining()
+	if a.scorer.totalEdges <= 0 && hint >= 0 {
+		a.scorer.totalEdges = hint
+	}
 	if hint < 0 {
 		hint = 1024
-	}
-	if a.scorer.totalEdges <= 0 && s.Remaining() >= 0 {
-		a.scorer.totalEdges = s.Remaining()
 	}
 	totalEdges := a.scorer.totalEdges
 
@@ -285,7 +291,7 @@ func (a *Adwise) Run(s stream.Stream) (*metrics.Assignment, error) {
 
 	refill := func() {
 		for a.win.len() < w {
-			e, ok := s.Next()
+			e, ok := src.Next()
 			if !ok {
 				return
 			}
@@ -324,7 +330,7 @@ func (a *Adwise) Run(s stream.Stream) (*metrics.Assignment, error) {
 
 			curAvg := periodScore / float64(periodCount)
 			c1 := !havePrevAvg || curAvg >= prevAvgScore
-			c2 := a.c2(now, deadline, latPerEdge, s, totalEdges)
+			c2 := a.c2(now, deadline, latPerEdge, src, totalEdges)
 
 			switch {
 			case c1 && c2 && w < a.cfg.maxWindow:

@@ -1,6 +1,7 @@
 // Package core implements ADWISE, the adaptive window-based streaming
-// edge partitioner of the paper (§III), together with the spotlight
-// optimization for parallel loading (§III-D).
+// edge partitioner of the paper (§III). The spotlight optimization for
+// parallel loading (§III-D) lives in internal/runtime, which orchestrates
+// this package's partitioner alongside the single-edge baselines.
 package core
 
 import (

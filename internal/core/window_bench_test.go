@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/adwise-go/adwise/internal/gen"
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/stream"
+)
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := gen.Community(60, 12, 0.9, 2000, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkPopBest measures the window's assignment loop: fill a fixed
+// window, then repeatedly pop the best-scoring edge — the inner loop of
+// Algorithm 1 whose cost is dominated by vertex-cache lookups.
+func BenchmarkPopBest(b *testing.B) {
+	for _, w := range []int{64, 256} {
+		b.Run(map[int]string{64: "w=64", 256: "w=256"}[w], func(b *testing.B) {
+			g := benchGraph(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			pops := 0
+			for pops < b.N {
+				b.StopTimer()
+				ad, err := New(16, WithInitialWindow(w), WithFixedWindow())
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := stream.FromEdges(g.Edges)
+				// Pre-fill the window outside the timed region.
+				for ad.win.len() < w {
+					e, ok := s.Next()
+					if !ok {
+						break
+					}
+					ad.win.add(e)
+				}
+				b.StartTimer()
+				// One op = pop best, commit, refill one edge — the steady
+				// state of Algorithm 1's assignment loop.
+				for ad.win.len() > 0 && pops < b.N {
+					e, p, _, ok := ad.win.popBest()
+					if !ok {
+						break
+					}
+					ad.scorer.commit(e, p)
+					if e2, ok := s.Next(); ok {
+						ad.win.add(e2)
+					}
+					pops++
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdwiseRun measures a full fixed-window pass end to end: window
+// refill (batched stream draw), scoring, cache updates.
+func BenchmarkAdwiseRun(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ad, err := New(16, WithInitialWindow(128), WithFixedWindow())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ad.Run(stream.FromEdges(g.Edges)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -68,19 +68,24 @@ func (c Config) allowed() []int {
 	return out
 }
 
-// Run drains s through p and returns the resulting assignment.
+// Run drains s through p and returns the resulting assignment. Edges are
+// drawn in batches (stream.NextBatch) so the per-edge cost is one Assign
+// call, not an extra interface dispatch into the stream.
 func Run(s stream.Stream, p Partitioner) *metrics.Assignment {
 	hint := s.Remaining()
 	if hint < 0 {
 		hint = 1024
 	}
 	a := metrics.NewAssignment(p.Cache().K(), int(hint))
+	var buf [stream.DefaultBatchSize]graph.Edge
 	for {
-		e, ok := s.Next()
-		if !ok {
+		n := stream.NextBatch(s, buf[:])
+		if n == 0 {
 			return a
 		}
-		a.Add(e, p.Assign(e))
+		for _, e := range buf[:n] {
+			a.Add(e, p.Assign(e))
+		}
 	}
 }
 

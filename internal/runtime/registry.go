@@ -1,0 +1,212 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/adwise-go/adwise/internal/core"
+	"github.com/adwise-go/adwise/internal/partition"
+)
+
+// Spec carries the construction knobs shared by all strategies. Strategies
+// ignore the fields that do not apply to them (e.g. the hashing family
+// ignores Latency and Window).
+type Spec struct {
+	// K is the global partition count.
+	K int
+	// Allowed restricts assignments to a partition subset — the spotlight
+	// spread (§III-D). Empty means all of 0..K-1.
+	Allowed []int
+	// Seed drives the hash functions and any seeded choice.
+	Seed uint64
+
+	// Latency is ADWISE's latency preference L (0 = single-edge
+	// behaviour).
+	Latency time.Duration
+	// Window, when > 0, pins ADWISE to a fixed window of this size,
+	// overriding latency adaptation.
+	Window int
+	// TotalEdgesHint supplies the stream length when the stream cannot
+	// report it (per-chunk hint under parallel loading).
+	TotalEdgesHint int64
+	// Lambda overrides the balancing weight of strategies that take one
+	// (HDRF); 0 selects the strategy default.
+	Lambda float64
+	// Options are extra ADWISE options applied after the Spec-derived
+	// ones (clustering toggles, clock substitution, ...).
+	Options []core.Option
+}
+
+// partitionConfig projects the Spec onto the single-edge framework config.
+func (s Spec) partitionConfig() partition.Config {
+	return partition.Config{K: s.K, Allowed: s.Allowed, Seed: s.Seed}
+}
+
+// Builder constructs a strategy instance from a Spec.
+type Builder func(Spec) (Strategy, error)
+
+var (
+	regMu        sync.RWMutex
+	builders     = make(map[string]Builder)
+	partitioners = make(map[string]func(partition.Config) (partition.Partitioner, error))
+	baselineList []string // single-edge names in canonical (Figure 1) order
+)
+
+// Register adds a strategy builder under name. It panics on a duplicate
+// name: registration happens at init time and a collision is a programming
+// error.
+func Register(name string, b Builder) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := builders[name]; dup {
+		panic(fmt.Sprintf("runtime: strategy %q registered twice", name))
+	}
+	builders[name] = b
+}
+
+// RegisterPartitioner adds a single-edge baseline under name: the raw
+// constructor is retained for NewPartitioner callers and also wrapped as a
+// Strategy builder.
+func RegisterPartitioner(name string, build func(partition.Config) (partition.Partitioner, error)) {
+	Register(name, func(s Spec) (Strategy, error) {
+		p, err := build(s.partitionConfig())
+		if err != nil {
+			return nil, err
+		}
+		return FromPartitioner(p), nil
+	})
+	recordBaseline(name, build)
+}
+
+// recordBaseline notes a single-edge constructor for NewPartitioner and the
+// canonical baseline ordering, without touching the Strategy builders.
+func recordBaseline(name string, build func(partition.Config) (partition.Partitioner, error)) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	partitioners[name] = build
+	baselineList = append(baselineList, name)
+}
+
+// New constructs the named strategy from the registry.
+func New(name string, spec Spec) (Strategy, error) {
+	regMu.RLock()
+	b, ok := builders[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown strategy %q (have %v)", name, Names())
+	}
+	return b(spec)
+}
+
+// NewPartitioner constructs the named single-edge baseline as a raw
+// partition.Partitioner (per-edge Assign interface). Window and all-edge
+// strategies are not constructible this way.
+func NewPartitioner(name string, cfg partition.Config) (partition.Partitioner, error) {
+	regMu.RLock()
+	build, ok := partitioners[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown single-edge baseline %q (have %v)", name, Baselines())
+	}
+	return build(cfg)
+}
+
+// Names lists every registered strategy, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(builders))
+	for name := range builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Baselines lists the single-edge strategies in canonical (Figure 1)
+// presentation order.
+func Baselines() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(baselineList))
+	copy(out, baselineList)
+	return out
+}
+
+// lift adapts a constructor returning a concrete partitioner type to the
+// interface-typed signature the registry stores, without a typed-nil leak
+// on error.
+func lift[P partition.Partitioner](build func(partition.Config) (P, error)) func(partition.Config) (partition.Partitioner, error) {
+	return func(cfg partition.Config) (partition.Partitioner, error) {
+		p, err := build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+}
+
+func init() {
+	RegisterPartitioner("hash", lift(partition.NewHash))
+	RegisterPartitioner("1d", lift(partition.NewOneDim))
+	RegisterPartitioner("2d", lift(partition.NewTwoDim))
+	RegisterPartitioner("grid", lift(partition.NewGrid))
+	RegisterPartitioner("greedy", lift(partition.NewGreedy))
+	RegisterPartitioner("dbh", lift(partition.NewDBH))
+
+	// HDRF takes a balancing weight: its Strategy builder honours
+	// Spec.Lambda (0 = the authors' recommended default), while the raw
+	// partitioner constructor pins the default.
+	Register("hdrf", func(s Spec) (Strategy, error) {
+		lambda := s.Lambda
+		if lambda == 0 {
+			lambda = partition.HDRFDefaultLambda
+		}
+		p, err := partition.NewHDRF(s.partitionConfig(), lambda)
+		if err != nil {
+			return nil, err
+		}
+		return FromPartitioner(p), nil
+	})
+	recordBaseline("hdrf", func(cfg partition.Config) (partition.Partitioner, error) {
+		return partition.NewHDRF(cfg, partition.HDRFDefaultLambda)
+	})
+
+	Register("adwise", func(s Spec) (Strategy, error) {
+		opts := []core.Option{core.WithLatencyPreference(s.Latency)}
+		if len(s.Allowed) > 0 {
+			opts = append(opts, core.WithAllowedPartitions(s.Allowed))
+		}
+		if s.TotalEdgesHint > 0 {
+			opts = append(opts, core.WithTotalEdgesHint(s.TotalEdgesHint))
+		}
+		if s.Window > 0 {
+			opts = append(opts, core.WithInitialWindow(s.Window), core.WithFixedWindow())
+		}
+		opts = append(opts, s.Options...)
+		ad, err := core.New(s.K, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return adwiseStrategy{ad}, nil
+	})
+
+	Register("ne", func(s Spec) (Strategy, error) {
+		if s.K < 1 {
+			return nil, fmt.Errorf("runtime: ne needs K >= 1, got %d", s.K)
+		}
+		for _, p := range s.Allowed {
+			if p < 0 || p >= s.K {
+				return nil, fmt.Errorf("runtime: ne allowed partition %d outside [0,%d)", p, s.K)
+			}
+		}
+		allowed := s.Allowed
+		if len(allowed) == s.K {
+			// Full spread: run NE over the global partition set directly.
+			allowed = nil
+		}
+		return &neStrategy{k: s.K, allowed: allowed, seed: s.Seed}, nil
+	})
+}

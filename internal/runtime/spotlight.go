@@ -1,4 +1,4 @@
-package core
+package runtime
 
 import (
 	"fmt"
@@ -6,7 +6,6 @@ import (
 
 	"github.com/adwise-go/adwise/internal/graph"
 	"github.com/adwise-go/adwise/internal/metrics"
-	"github.com/adwise-go/adwise/internal/partition"
 	"github.com/adwise-go/adwise/internal/stream"
 )
 
@@ -16,25 +15,6 @@ import (
 // stream locality (the paper measures up to 76-80% replication-degree
 // reduction) and reduces score computations; s = k recovers the classic
 // shared loading model.
-
-// Runner is one partitioner instance usable under spotlight: it consumes
-// an edge stream and produces an assignment over the global partition set.
-type Runner interface {
-	Run(s stream.Stream) (*metrics.Assignment, error)
-}
-
-// RunnerFunc adapts a function to the Runner interface.
-type RunnerFunc func(s stream.Stream) (*metrics.Assignment, error)
-
-// Run implements Runner.
-func (f RunnerFunc) Run(s stream.Stream) (*metrics.Assignment, error) { return f(s) }
-
-// StreamingRunner adapts a single-edge partition.Partitioner to Runner.
-func StreamingRunner(p partition.Partitioner) Runner {
-	return RunnerFunc(func(s stream.Stream) (*metrics.Assignment, error) {
-		return partition.Run(s, p), nil
-	})
-}
 
 // SpotlightConfig configures a parallel loading run.
 type SpotlightConfig struct {
@@ -54,16 +34,16 @@ type SpotlightConfig struct {
 
 func (c SpotlightConfig) validate() error {
 	if c.K < 1 {
-		return fmt.Errorf("core: spotlight K must be >= 1, got %d", c.K)
+		return fmt.Errorf("runtime: spotlight K must be >= 1, got %d", c.K)
 	}
 	if c.Z < 1 {
-		return fmt.Errorf("core: spotlight Z must be >= 1, got %d", c.Z)
+		return fmt.Errorf("runtime: spotlight Z must be >= 1, got %d", c.Z)
 	}
 	if c.K%c.Z != 0 {
-		return fmt.Errorf("core: spotlight requires Z (%d) to divide K (%d)", c.Z, c.K)
+		return fmt.Errorf("runtime: spotlight requires Z (%d) to divide K (%d)", c.Z, c.K)
 	}
 	if c.Spread < c.K/c.Z || c.Spread > c.K {
-		return fmt.Errorf("core: spotlight spread %d outside [K/Z=%d, K=%d]", c.Spread, c.K/c.Z, c.K)
+		return fmt.Errorf("runtime: spotlight spread %d outside [K/Z=%d, K=%d]", c.Spread, c.K/c.Z, c.K)
 	}
 	return nil
 }
@@ -86,20 +66,21 @@ func (c SpotlightConfig) SpreadFor(i int) []int {
 // build(i, allowed) and merges their assignments in instance order. The
 // edge slice is split into Z near-equal contiguous chunks, mirroring the
 // paper's parallel loading model where each worker machine streams its own
-// chunk of the graph file.
+// chunk of the graph file. Builders typically return a registry-constructed
+// Strategy; any Runner works.
 func RunSpotlight(edges []graph.Edge, cfg SpotlightConfig, build func(i int, allowed []int) (Runner, error)) (*metrics.Assignment, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if len(edges) == 0 {
-		return nil, fmt.Errorf("core: spotlight needs a non-empty edge list")
+		return nil, fmt.Errorf("runtime: spotlight needs a non-empty edge list")
 	}
 	chunks := stream.Chunks(edges, cfg.Z)
 	runners := make([]Runner, len(chunks))
 	for i := range chunks {
 		r, err := build(i, cfg.SpreadFor(i))
 		if err != nil {
-			return nil, fmt.Errorf("core: building spotlight instance %d: %w", i, err)
+			return nil, fmt.Errorf("runtime: building spotlight instance %d: %w", i, err)
 		}
 		runners[i] = r
 	}
@@ -123,7 +104,7 @@ func RunSpotlight(edges []graph.Edge, cfg SpotlightConfig, build func(i int, all
 	}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: spotlight instance %d: %w", i, err)
+			return nil, fmt.Errorf("runtime: spotlight instance %d: %w", i, err)
 		}
 	}
 
@@ -134,4 +115,24 @@ func RunSpotlight(edges []graph.Edge, cfg SpotlightConfig, build func(i int, all
 		}
 	}
 	return merged, nil
+}
+
+// RunStrategySpotlight is the registry-driven convenience: it partitions
+// edges with Z instances of the named strategy, each restricted to its
+// spread, with the per-instance seed offset and chunk-size hint the paper's
+// setup uses.
+func RunStrategySpotlight(name string, edges []graph.Edge, cfg SpotlightConfig, spec Spec) (*metrics.Assignment, error) {
+	if spec.K == 0 {
+		spec.K = cfg.K
+	}
+	chunkEdges := int64(len(edges)/max(cfg.Z, 1) + 1)
+	return RunSpotlight(edges, cfg, func(i int, allowed []int) (Runner, error) {
+		s := spec
+		s.Allowed = allowed
+		s.Seed = spec.Seed + uint64(i)
+		if s.TotalEdgesHint == 0 {
+			s.TotalEdgesHint = chunkEdges
+		}
+		return New(name, s)
+	})
 }

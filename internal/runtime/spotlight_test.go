@@ -1,4 +1,4 @@
-package core
+package runtime
 
 import (
 	"errors"
@@ -6,10 +6,20 @@ import (
 	"testing"
 
 	"github.com/adwise-go/adwise/internal/gen"
+	"github.com/adwise-go/adwise/internal/graph"
 	"github.com/adwise-go/adwise/internal/metrics"
 	"github.com/adwise-go/adwise/internal/partition"
 	"github.com/adwise-go/adwise/internal/stream"
 )
+
+func clusteredGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Community(60, 10, 0.9, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
 
 func TestSpotlightConfigValidation(t *testing.T) {
 	tests := []struct {
@@ -72,6 +82,42 @@ func TestSpreadForDisjointAtMinimum(t *testing.T) {
 	}
 }
 
+// TestSpreadForWrapsAroundModuloK pins the wrap-around semantics when
+// Spread > K/Z: the last instances' blocks run past partition K-1 and must
+// wrap to the low partition ids, staying in range and duplicate-free.
+func TestSpreadForWrapsAroundModuloK(t *testing.T) {
+	cfg := SpotlightConfig{K: 8, Z: 4, Spread: 4}
+	// Instance 3 starts at 3·(8/4) = 6 and wraps: {6, 7, 0, 1}.
+	got := cfg.SpreadFor(3)
+	want := []int{6, 7, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("SpreadFor(3) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SpreadFor(3) = %v, want %v", got, want)
+		}
+	}
+	// Every instance at every legal over-minimum spread yields distinct
+	// in-range partitions.
+	for _, spread := range []int{2, 4, 6, 8} {
+		cfg := SpotlightConfig{K: 8, Z: 4, Spread: spread}
+		for i := 0; i < cfg.Z; i++ {
+			parts := cfg.SpreadFor(i)
+			seen := make(map[int]bool, len(parts))
+			for _, p := range parts {
+				if p < 0 || p >= cfg.K {
+					t.Fatalf("spread=%d instance %d: partition %d out of range", spread, i, p)
+				}
+				if seen[p] {
+					t.Fatalf("spread=%d instance %d: partition %d duplicated in %v", spread, i, p, parts)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
 func TestRunSpotlightAssignsEverything(t *testing.T) {
 	g := clusteredGraph(t)
 	cfg := SpotlightConfig{K: 16, Z: 4, Spread: 4}
@@ -99,11 +145,7 @@ func TestSpotlightRespectsSpreads(t *testing.T) {
 	instanceParts := make(map[int][]int)
 	a, err := RunSpotlight(g.Edges, cfg, func(i int, allowed []int) (Runner, error) {
 		instanceParts[i] = allowed
-		h, err := partition.NewHash(partition.Config{K: 8, Allowed: allowed})
-		if err != nil {
-			return nil, err
-		}
-		return StreamingRunner(h), nil
+		return New("hash", Spec{K: 8, Allowed: allowed})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -136,33 +178,10 @@ func TestSpotlightReducesReplicationForAllStrategies(t *testing.T) {
 	}
 	edges := g.Edges
 
-	builders := map[string]func(i int, allowed []int) (Runner, error){
-		"dbh": func(i int, allowed []int) (Runner, error) {
-			d, err := partition.NewDBH(partition.Config{K: 32, Allowed: allowed, Seed: 9})
-			if err != nil {
-				return nil, err
-			}
-			return StreamingRunner(d), nil
-		},
-		"hdrf": func(i int, allowed []int) (Runner, error) {
-			h, err := partition.NewHDRF(partition.Config{K: 32, Allowed: allowed, Seed: 9}, partition.HDRFDefaultLambda)
-			if err != nil {
-				return nil, err
-			}
-			return StreamingRunner(h), nil
-		},
-		"adwise": func(i int, allowed []int) (Runner, error) {
-			ad, err := New(32, WithAllowedPartitions(allowed), WithInitialWindow(32), WithFixedWindow())
-			if err != nil {
-				return nil, err
-			}
-			return ad, nil
-		},
-	}
-	for name, build := range builders {
+	for _, name := range []string{"dbh", "hdrf", "adwise"} {
 		rf := func(spread int) float64 {
 			cfg := SpotlightConfig{K: 32, Z: 8, Spread: spread}
-			a, err := RunSpotlight(edges, cfg, build)
+			a, err := RunStrategySpotlight(name, edges, cfg, Spec{K: 32, Seed: 9, Window: 32})
 			if err != nil {
 				t.Fatalf("%s spread=%d: %v", name, spread, err)
 			}
@@ -197,11 +216,7 @@ func TestSpotlightRunnerErrorPropagates(t *testing.T) {
 				return nil, wantErr
 			}), nil
 		}
-		h, err := partition.NewHash(partition.Config{K: 4, Allowed: allowed})
-		if err != nil {
-			return nil, err
-		}
-		return StreamingRunner(h), nil
+		return New("hash", Spec{K: 4, Allowed: allowed})
 	})
 	if !errors.Is(err, wantErr) {
 		t.Errorf("runner error not propagated: %v", err)
@@ -220,11 +235,7 @@ func TestSpotlightEmptyEdges(t *testing.T) {
 func TestSpotlightSequentialMatchesParallel(t *testing.T) {
 	g := clusteredGraph(t)
 	build := func(i int, allowed []int) (Runner, error) {
-		h, err := partition.NewHDRF(partition.Config{K: 8, Allowed: allowed, Seed: 5}, partition.HDRFDefaultLambda)
-		if err != nil {
-			return nil, err
-		}
-		return StreamingRunner(h), nil
+		return New("hdrf", Spec{K: 8, Allowed: allowed, Seed: 5})
 	}
 	seq, err := RunSpotlight(g.Edges, SpotlightConfig{K: 8, Z: 4, Spread: 2, Sequential: true}, build)
 	if err != nil {

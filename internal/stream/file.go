@@ -64,13 +64,25 @@ func countDataLines(path string) (int64, error) {
 	}
 }
 
-// Next implements Stream. A malformed line terminates the stream; the
-// parse error is available via Err.
+// Next implements Stream as a one-edge batch. A malformed line terminates
+// the stream; the parse error is available via Err.
 func (fs *File) Next() (graph.Edge, bool) {
-	if fs.err != nil {
+	var one [1]graph.Edge
+	if fs.NextBatch(one[:]) == 0 {
 		return graph.Edge{}, false
 	}
-	for fs.sc.Scan() {
+	return one[0], true
+}
+
+// NextBatch implements Batcher: it parses up to len(dst) edges in one call,
+// touching the scanner in a tight loop so the per-edge cost is line parsing
+// alone rather than parsing plus interface dispatch per edge.
+func (fs *File) NextBatch(dst []graph.Edge) int {
+	if fs.err != nil {
+		return 0
+	}
+	n := 0
+	for n < len(dst) && fs.sc.Scan() {
 		line := strings.TrimSpace(fs.sc.Text())
 		if line == "" || line[0] == '#' || line[0] == '%' {
 			continue
@@ -78,23 +90,26 @@ func (fs *File) Next() (graph.Edge, bool) {
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
 			fs.err = fmt.Errorf("stream: malformed line %q", line)
-			return graph.Edge{}, false
+			return n
 		}
 		src, err := strconv.ParseUint(fields[0], 10, 32)
 		if err != nil {
 			fs.err = fmt.Errorf("stream: parsing src %q: %w", fields[0], err)
-			return graph.Edge{}, false
+			return n
 		}
-		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		dstID, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
 			fs.err = fmt.Errorf("stream: parsing dst %q: %w", fields[1], err)
-			return graph.Edge{}, false
+			return n
 		}
 		fs.remaining--
-		return graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)}, true
+		dst[n] = graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dstID)}
+		n++
 	}
-	fs.err = fs.sc.Err()
-	return graph.Edge{}, false
+	if n < len(dst) && fs.err == nil {
+		fs.err = fs.sc.Err()
+	}
+	return n
 }
 
 // Remaining implements Stream.

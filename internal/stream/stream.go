@@ -21,6 +21,52 @@ type Stream interface {
 	Remaining() int64
 }
 
+// Batcher is a Stream that can deliver many edges per call, amortizing the
+// per-edge interface-dispatch cost of Next over a whole batch. A NextBatch
+// call fills dst from the front and returns the number of edges written;
+// zero means the stream is exhausted. Short non-zero reads are allowed.
+type Batcher interface {
+	Stream
+	NextBatch(dst []graph.Edge) int
+}
+
+// NextBatch fills dst from s, using the stream's native batch support when
+// available and falling back to a per-edge Next loop otherwise. It returns
+// the number of edges written; zero means exhaustion (dst must be
+// non-empty).
+func NextBatch(s Stream, dst []graph.Edge) int {
+	if b, ok := s.(Batcher); ok {
+		return b.NextBatch(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		dst[n] = e
+		n++
+	}
+	return n
+}
+
+// Collect drains s into a new edge slice, batch-wise.
+func Collect(s Stream) []graph.Edge {
+	hint := s.Remaining()
+	if hint < 0 {
+		hint = 1024
+	}
+	out := make([]graph.Edge, 0, hint)
+	var buf [512]graph.Edge
+	for {
+		n := NextBatch(s, buf[:])
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
 // Slice is an in-memory Stream over an edge slice. The zero value is an
 // exhausted stream.
 type Slice struct {
@@ -47,6 +93,13 @@ func (s *Slice) Next() (graph.Edge, bool) {
 	e := s.edges[s.pos]
 	s.pos++
 	return e, true
+}
+
+// NextBatch implements Batcher: a single copy out of the backing slice.
+func (s *Slice) NextBatch(dst []graph.Edge) int {
+	n := copy(dst, s.edges[s.pos:])
+	s.pos += n
+	return n
 }
 
 // Remaining implements Stream.
@@ -133,6 +186,14 @@ func (c *Counted) Next() (graph.Edge, bool) {
 	return e, ok
 }
 
+// NextBatch implements Batcher, delegating to the inner stream's batch
+// support.
+func (c *Counted) NextBatch(dst []graph.Edge) int {
+	n := NextBatch(c.Inner, dst)
+	c.N += int64(n)
+	return n
+}
+
 // Remaining implements Stream.
 func (c *Counted) Remaining() int64 { return c.Inner.Remaining() }
 
@@ -156,6 +217,21 @@ func (l *Limit) Next() (graph.Edge, bool) {
 	return e, ok
 }
 
+// NextBatch implements Batcher, capping the batch at the edges left under
+// Max.
+func (l *Limit) NextBatch(dst []graph.Edge) int {
+	left := l.Max - l.drawn
+	if left <= 0 {
+		return 0
+	}
+	if int64(len(dst)) > left {
+		dst = dst[:left]
+	}
+	n := NextBatch(l.Inner, dst)
+	l.drawn += int64(n)
+	return n
+}
+
 // Remaining implements Stream.
 func (l *Limit) Remaining() int64 {
 	r := l.Inner.Remaining()
@@ -166,4 +242,85 @@ func (l *Limit) Remaining() int64 {
 		return left
 	}
 	return r
+}
+
+// Buffered adapts any Stream into one whose Next is a cheap slice read:
+// edges are pulled from the inner stream a batch at a time via NextBatch.
+// Consumers that must inspect edges one by one (the ADWISE window refill)
+// hold a concrete *Buffered so the per-edge call devirtualizes, while the
+// inner stream is only touched once per batch.
+type Buffered struct {
+	inner Stream
+	buf   []graph.Edge
+	pos   int
+	done  bool
+}
+
+// DefaultBatchSize is the batch granularity used by batch-aware consumers
+// (partition.Run, the ADWISE refill loop, Buffered's default).
+const DefaultBatchSize = 512
+
+// NewBuffered wraps s with a batch buffer of the given size (<= 0 selects
+// DefaultBatchSize). If s is already a *Buffered it is returned unchanged.
+func NewBuffered(s Stream, size int) *Buffered {
+	if b, ok := s.(*Buffered); ok {
+		return b
+	}
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &Buffered{inner: s, buf: make([]graph.Edge, 0, size)}
+}
+
+// Next implements Stream from the buffer, refilling batch-wise.
+func (b *Buffered) Next() (graph.Edge, bool) {
+	if b.pos >= len(b.buf) {
+		if b.done {
+			return graph.Edge{}, false
+		}
+		b.buf = b.buf[:cap(b.buf)]
+		n := NextBatch(b.inner, b.buf)
+		b.buf = b.buf[:n]
+		b.pos = 0
+		if n == 0 {
+			b.done = true
+			return graph.Edge{}, false
+		}
+	}
+	e := b.buf[b.pos]
+	b.pos++
+	return e, true
+}
+
+// NextBatch implements Batcher: buffered edges first, then straight from
+// the inner stream without double-copying.
+func (b *Buffered) NextBatch(dst []graph.Edge) int {
+	if b.pos < len(b.buf) {
+		n := copy(dst, b.buf[b.pos:])
+		b.pos += n
+		return n
+	}
+	if b.done {
+		return 0
+	}
+	n := NextBatch(b.inner, dst)
+	if n == 0 {
+		b.done = true
+	}
+	return n
+}
+
+// Remaining implements Stream: the inner remainder plus the edges already
+// buffered but not yet handed out, so latency accounting (condition C2)
+// stays exact under batching.
+func (b *Buffered) Remaining() int64 {
+	pending := int64(len(b.buf) - b.pos)
+	r := b.inner.Remaining()
+	if r < 0 {
+		if b.done {
+			return pending
+		}
+		return -1
+	}
+	return r + pending
 }

@@ -3,6 +3,13 @@
 // maintains the replica set, the partial degree, and globally the per-
 // partition edge counts that the balancing scores need.
 //
+// The cache is an open-addressing hash table with no per-vertex heap
+// allocation: vertex keys and partial degrees live in flat arrays, and all
+// replica bitmaps share one word arena indexed by slot. Per-edge scoring
+// (Lookup) is a probe into three parallel arrays — no pointer chase, no
+// map-bucket indirection — which is what the window-based scoring loop of
+// ADWISE spends most of its time on.
+//
 // A Cache is owned by a single partitioner instance and is not safe for
 // concurrent use; the parallel-loading model of the paper (§III-D) gives
 // every partitioner its own cache.
@@ -15,15 +22,25 @@ import (
 	"github.com/adwise-go/adwise/internal/graph"
 )
 
-type entry struct {
-	replicas bitset.Set
-	degree   int32
-}
+// minSlots is the initial table size. Power of two so the probe sequence
+// can mask instead of mod.
+const minSlots = 1024
 
 // Cache is the vertex cache for k partitions.
 type Cache struct {
-	k        int
-	entries  map[graph.VertexID]*entry
+	k   int
+	wpe int // replica words per entry: ceil(k/64)
+
+	// Open-addressing table, all slices of length len(keys) (slots) except
+	// words (slots*wpe). A slot is occupied iff degrees[slot] != 0: degrees
+	// only grow and every insertion starts at 1, so zero is a safe empty
+	// marker even for vertex id 0.
+	mask    uint64
+	keys    []graph.VertexID
+	degrees []int32
+	words   []uint64 // replica bitmaps, wpe words per slot
+	live    int      // occupied slots
+
 	sizes    []int64
 	assigned int64
 	maxDeg   int32
@@ -35,9 +52,14 @@ func New(k int) *Cache {
 	if k < 1 {
 		panic(fmt.Sprintf("vcache: partition count must be >= 1, got %d", k))
 	}
+	wpe := (k + 63) / 64
 	return &Cache{
 		k:       k,
-		entries: make(map[graph.VertexID]*entry, 1024),
+		wpe:     wpe,
+		mask:    minSlots - 1,
+		keys:    make([]graph.VertexID, minSlots),
+		degrees: make([]int32, minSlots),
+		words:   make([]uint64, minSlots*wpe),
 		sizes:   make([]int64, k),
 	}
 }
@@ -45,31 +67,120 @@ func New(k int) *Cache {
 // K returns the partition count.
 func (c *Cache) K() int { return c.k }
 
+// splitmix64 is the SplitMix64 finaliser; vertex ids are dense small
+// integers, so they need real mixing before masking to a slot.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// find returns v's slot, or -1 if v has never been assigned.
+func (c *Cache) find(v graph.VertexID) int {
+	i := splitmix64(uint64(v)) & c.mask
+	for {
+		if c.degrees[i] == 0 {
+			return -1
+		}
+		if c.keys[i] == v {
+			return int(i)
+		}
+		i = (i + 1) & c.mask
+	}
+}
+
+// bump finds or creates v's slot and increments its partial degree. The
+// table doubles only when an actual insertion would push the load factor
+// past 3/4 — assignments among already-known vertices never grow.
+func (c *Cache) bump(v graph.VertexID) int {
+	i := splitmix64(uint64(v)) & c.mask
+	for {
+		d := c.degrees[i]
+		if d == 0 {
+			if uint64(c.live+1)*4 > (c.mask+1)*3 {
+				c.grow()
+				i = splitmix64(uint64(v)) & c.mask
+				continue // re-probe in the grown table
+			}
+			c.keys[i] = v
+			c.degrees[i] = 1
+			c.live++
+			if c.maxDeg < 1 {
+				c.maxDeg = 1
+			}
+			return int(i)
+		}
+		if c.keys[i] == v {
+			d++
+			c.degrees[i] = d
+			if d > c.maxDeg {
+				c.maxDeg = d
+			}
+			return int(i)
+		}
+		i = (i + 1) & c.mask
+	}
+}
+
+// grow doubles the table and reinserts every occupied slot. Replica views
+// handed out earlier (Replicas, Lookup) are invalidated by growth; they are
+// only specified to live until the next Assign.
+func (c *Cache) grow() {
+	oldKeys, oldDegrees, oldWords := c.keys, c.degrees, c.words
+	slots := (c.mask + 1) * 2
+	c.mask = slots - 1
+	c.keys = make([]graph.VertexID, slots)
+	c.degrees = make([]int32, slots)
+	c.words = make([]uint64, int(slots)*c.wpe)
+	for s, d := range oldDegrees {
+		if d == 0 {
+			continue
+		}
+		i := splitmix64(uint64(oldKeys[s])) & c.mask
+		for c.degrees[i] != 0 {
+			i = (i + 1) & c.mask
+		}
+		c.keys[i] = oldKeys[s]
+		c.degrees[i] = d
+		copy(c.words[int(i)*c.wpe:(int(i)+1)*c.wpe], oldWords[s*c.wpe:(s+1)*c.wpe])
+	}
+}
+
+// replicaView returns the replica bitmap of an occupied slot as a Set view
+// into the arena — a slice header, no allocation.
+func (c *Cache) replicaView(slot int) bitset.Set {
+	return bitset.View(c.words[slot*c.wpe:(slot+1)*c.wpe], c.k)
+}
+
 // Known reports whether v has been seen in any previous assignment.
 func (c *Cache) Known(v graph.VertexID) bool {
-	_, ok := c.entries[v]
-	return ok
+	return c.find(v) >= 0
 }
 
 // HasReplica reports whether v is replicated on partition p.
 func (c *Cache) HasReplica(v graph.VertexID, p int) bool {
-	e, ok := c.entries[v]
-	return ok && e.replicas.Contains(p)
+	slot := c.find(v)
+	if slot < 0 || p < 0 || p >= c.k {
+		return false
+	}
+	return c.words[slot*c.wpe+p>>6]&(1<<(uint(p)&63)) != 0
 }
 
-// Replicas returns the replica set of v. The returned set must not be
-// modified; it is empty (capacity 0) for unknown vertices.
+// Replicas returns the replica set of v. The returned set is a view into
+// the cache and must not be modified; it is valid until the next Assign and
+// empty (capacity 0) for unknown vertices.
 func (c *Cache) Replicas(v graph.VertexID) bitset.Set {
-	if e, ok := c.entries[v]; ok {
-		return e.replicas
+	if slot := c.find(v); slot >= 0 {
+		return c.replicaView(slot)
 	}
 	return bitset.Set{}
 }
 
 // ReplicaCount returns |Rv|.
 func (c *Cache) ReplicaCount(v graph.VertexID) int {
-	if e, ok := c.entries[v]; ok {
-		return e.replicas.Count()
+	if slot := c.find(v); slot >= 0 {
+		return c.replicaView(slot).Count()
 	}
 	return 0
 }
@@ -78,17 +189,18 @@ func (c *Cache) ReplicaCount(v graph.VertexID) int {
 // incident to v assigned so far. Streaming algorithms (DBH, HDRF, ADWISE)
 // work with partial degrees because the full degree is unknown mid-stream.
 func (c *Cache) Degree(v graph.VertexID) int {
-	if e, ok := c.entries[v]; ok {
-		return int(e.degree)
+	if slot := c.find(v); slot >= 0 {
+		return int(c.degrees[slot])
 	}
 	return 0
 }
 
-// Lookup returns the partial degree and replica set of v with a single map
-// access — the hot path of per-edge scoring.
+// Lookup returns the partial degree and replica set of v with a single
+// table probe — the hot path of per-edge scoring. The replica set is a view
+// valid until the next Assign.
 func (c *Cache) Lookup(v graph.VertexID) (degree int, replicas bitset.Set) {
-	if e, ok := c.entries[v]; ok {
-		return int(e.degree), e.replicas
+	if slot := c.find(v); slot >= 0 {
+		return int(c.degrees[slot]), c.replicaView(slot)
 	}
 	return 0, bitset.Set{}
 }
@@ -102,15 +214,6 @@ func (c *Cache) MaxDegree() int {
 	return int(c.maxDeg)
 }
 
-func (c *Cache) entryFor(v graph.VertexID) *entry {
-	e, ok := c.entries[v]
-	if !ok {
-		e = &entry{replicas: bitset.New(c.k)}
-		c.entries[v] = e
-	}
-	return e
-}
-
 // Assign records the assignment of edge (u,v) to partition p and returns
 // which endpoints gained a new replica. It updates replica sets, partial
 // degrees, and partition sizes. Assign panics if p is out of range — an
@@ -119,18 +222,20 @@ func (c *Cache) Assign(e graph.Edge, p int) (newSrc, newDst bool) {
 	if p < 0 || p >= c.k {
 		panic(fmt.Sprintf("vcache: assignment to partition %d outside [0,%d)", p, c.k))
 	}
-	se := c.entryFor(e.Src)
-	newSrc = se.replicas.Add(p)
-	se.degree++
-	if se.degree > c.maxDeg {
-		c.maxDeg = se.degree
+	w, m := p>>6, uint64(1)<<(uint(p)&63)
+
+	slot := c.bump(e.Src)
+	if c.words[slot*c.wpe+w]&m == 0 {
+		c.words[slot*c.wpe+w] |= m
+		newSrc = true
 	}
 	if e.Dst != e.Src {
-		de := c.entryFor(e.Dst)
-		newDst = de.replicas.Add(p)
-		de.degree++
-		if de.degree > c.maxDeg {
-			c.maxDeg = de.degree
+		// bump may grow the table, so the Dst slot is resolved after the
+		// Src update is complete.
+		slot = c.bump(e.Dst)
+		if c.words[slot*c.wpe+w]&m == 0 {
+			c.words[slot*c.wpe+w] |= m
+			newDst = true
 		}
 	}
 	c.sizes[p]++
@@ -142,7 +247,7 @@ func (c *Cache) Assign(e graph.Edge, p int) (newSrc, newDst bool) {
 func (c *Cache) Assigned() int64 { return c.assigned }
 
 // Vertices returns the number of distinct vertices seen so far.
-func (c *Cache) Vertices() int { return len(c.entries) }
+func (c *Cache) Vertices() int { return c.live }
 
 // Size returns the number of edges assigned to partition p.
 func (c *Cache) Size(p int) int64 { return c.sizes[p] }
@@ -203,8 +308,10 @@ func (c *Cache) Imbalance() float64 {
 // replication-degree objective (Eq. 1).
 func (c *Cache) SumReplicas() int64 {
 	var sum int64
-	for _, e := range c.entries {
-		sum += int64(e.replicas.Count())
+	for slot, d := range c.degrees {
+		if d != 0 {
+			sum += int64(c.replicaView(slot).Count())
+		}
 	}
 	return sum
 }
@@ -212,16 +319,18 @@ func (c *Cache) SumReplicas() int64 {
 // ReplicationDegree returns the mean replica count over seen vertices
 // (Eq. 1); zero before any assignment.
 func (c *Cache) ReplicationDegree() float64 {
-	if len(c.entries) == 0 {
+	if c.live == 0 {
 		return 0
 	}
-	return float64(c.SumReplicas()) / float64(len(c.entries))
+	return float64(c.SumReplicas()) / float64(c.live)
 }
 
-// ForEachVertex calls fn for every seen vertex with its replica set.
-// Iteration order is unspecified.
+// ForEachVertex calls fn for every seen vertex with its replica set (a view
+// that must not be modified or retained). Iteration order is unspecified.
 func (c *Cache) ForEachVertex(fn func(v graph.VertexID, replicas bitset.Set)) {
-	for v, e := range c.entries {
-		fn(v, e.replicas)
+	for slot, d := range c.degrees {
+		if d != 0 {
+			fn(c.keys[slot], c.replicaView(slot))
+		}
 	}
 }

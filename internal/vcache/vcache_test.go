@@ -211,3 +211,37 @@ func TestQuickCacheInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGrowthPreservesState drives the cache through several table growths
+// (load factor crossings) and checks that degrees, replica sets, and
+// aggregates survive the rehashes.
+func TestGrowthPreservesState(t *testing.T) {
+	const k, n = 8, 10_000
+	c := New(k)
+	for i := 0; i < n; i++ {
+		e := graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1)}
+		c.Assign(e, i%k)
+	}
+	if got := c.Vertices(); got != n+1 {
+		t.Fatalf("Vertices = %d, want %d", got, n+1)
+	}
+	if got := c.Assigned(); got != n {
+		t.Fatalf("Assigned = %d, want %d", got, n)
+	}
+	// Interior vertex i touches edges i-1 (partition (i-1)%k) and i (i%k).
+	for _, v := range []int{1, 500, 1023, 1024, 5000, n - 1} {
+		if got := c.Degree(graph.VertexID(v)); got != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", v, got)
+		}
+		if !c.HasReplica(graph.VertexID(v), v%k) || !c.HasReplica(graph.VertexID(v), (v-1)%k) {
+			t.Errorf("vertex %d lost a replica across growth", v)
+		}
+	}
+	var total int64
+	for p := 0; p < k; p++ {
+		total += c.Size(p)
+	}
+	if total != c.Assigned() {
+		t.Errorf("partition sizes sum to %d, want %d", total, c.Assigned())
+	}
+}
