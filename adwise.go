@@ -27,6 +27,7 @@ package adwise
 
 import (
 	"fmt"
+	"net/http"
 	"os"
 
 	"github.com/adwise-go/adwise/internal/core"
@@ -34,6 +35,7 @@ import (
 	"github.com/adwise-go/adwise/internal/metrics"
 	"github.com/adwise-go/adwise/internal/partition"
 	"github.com/adwise-go/adwise/internal/runtime"
+	"github.com/adwise-go/adwise/internal/serve"
 	"github.com/adwise-go/adwise/internal/stream"
 )
 
@@ -253,3 +255,44 @@ func RunStrategySpotlight(name string, edges []Edge, cfg SpotlightConfig, spec S
 
 // AsRunner adapts a single-edge partitioner to a spotlight Runner.
 func AsRunner(p StreamingPartitioner) Runner { return runtime.StreamingRunner(p) }
+
+// Partition-lookup serving layer, re-exported from internal/serve: the
+// consumption side of the partitioner. A LookupIndex is an immutable,
+// sharded edge→partition / vertex→replica-set index built from an
+// Assignment; a LookupStore hot-swaps indices under unbounded concurrent
+// readers; ServeHandler/Serve expose the HTTP JSON API that distributed
+// graph-processing workers (paper §II, Figure 3) query at runtime.
+type (
+	// LookupIndex answers Partition(src,dst), PartitionBatch, and
+	// Replicas(v) with zero allocations; safe for concurrent readers.
+	LookupIndex = serve.Index
+	// LookupStore holds the live index behind an atomic pointer; Swap
+	// installs a fresh index without blocking in-flight lookups.
+	LookupStore = serve.Store
+	// LookupStats reports what a LookupIndex holds.
+	LookupStats = serve.Stats
+)
+
+// BuildIndex constructs an immutable lookup index from an assignment.
+func BuildIndex(a *Assignment) (*LookupIndex, error) { return serve.Build(a) }
+
+// NewLookupStore returns a hot-swappable store serving idx (nil for an
+// empty store that answers 503 until the first Swap).
+func NewLookupStore(idx *LookupIndex) *LookupStore { return serve.NewStore(idx) }
+
+// ServeHandler returns the lookup service's HTTP API over a store:
+// /v1/edge, /v1/vertex, /v1/edges (batch), /v1/stats, /healthz.
+func ServeHandler(s *LookupStore) http.Handler { return serve.NewHandler(s) }
+
+// NewLookupServer wraps a handler (typically ServeHandler, possibly
+// composed with extra routes) in an http.Server configured with the
+// slow-client timeouts a public-facing lookup service needs.
+func NewLookupServer(h http.Handler) *http.Server { return serve.NewServer(h) }
+
+// Serve blocks serving the lookup API for s on addr, with the
+// slow-client timeouts a public-facing lookup service needs.
+func Serve(addr string, s *LookupStore) error {
+	srv := serve.NewServer(ServeHandler(s))
+	srv.Addr = addr
+	return srv.ListenAndServe()
+}

@@ -1,6 +1,10 @@
 package adwise_test
 
 import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 	"time"
@@ -240,5 +244,61 @@ func TestPublicExperimentTable2(t *testing.T) {
 	}
 	if tab.String() == "" {
 		t.Error("empty rendering")
+	}
+}
+
+func TestPublicServingPath(t *testing.T) {
+	g, err := adwise.Generate(adwise.GraphBrain, 0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := adwise.NewStrategy("hdrf", adwise.StrategySpec{K: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Run(adwise.StreamGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := adwise.BuildIndex(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := adwise.NewLookupStore(idx)
+	srv := httptest.NewServer(adwise.ServeHandler(store))
+	defer srv.Close()
+
+	e := a.Edges[0]
+	resp, err := srv.Client().Get(fmt.Sprintf("%s/v1/edge?src=%d&dst=%d", srv.URL, e.Src, e.Dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edge lookup status = %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Partition int32 `json:"partition"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := idx.Partition(e.Src, e.Dst); !ok || p != body.Partition {
+		t.Errorf("served partition %d, index says (%d,%v)", body.Partition, p, ok)
+	}
+	if rc := idx.ReplicaCount(e.Src); rc < 1 {
+		t.Errorf("ReplicaCount(%d) = %d, want >= 1", e.Src, rc)
+	}
+
+	// Hot-swap through the facade types keeps the handler serving.
+	idx2, err := adwise.BuildIndex(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old := store.Swap(idx2); old != idx {
+		t.Error("Swap did not return the previous index")
+	}
+	if store.Generation() != 2 {
+		t.Errorf("generation = %d, want 2", store.Generation())
 	}
 }

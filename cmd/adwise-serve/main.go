@@ -1,0 +1,166 @@
+// Command adwise-serve exposes a completed partitioning as a sharded
+// partition-lookup HTTP service: edge→partition and vertex→replica-set
+// queries over the immutable index, with atomic hot-reload.
+//
+// Usage:
+//
+//	adwise-serve -assignment parts.tsv -addr :8372
+//	adwise-serve -in graph.txt -algo adwise -k 32 -latency 2s -addr :8372
+//
+// With -assignment the service loads a precomputed assignment TSV (from
+// adwise -out) and POST /v1/reload re-reads it, swapping the rebuilt index
+// in without dropping in-flight lookups. With -in the named registry
+// strategy partitions the graph first (optionally under spotlight with
+// -z/-spread) and the service serves the result.
+//
+// API: GET /v1/edge?src=S&dst=D, GET /v1/vertex?v=V, POST /v1/edges
+// (batch), GET /v1/stats, GET /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	adwise "github.com/adwise-go/adwise"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adwise-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// options are the parsed serving options.
+type options struct {
+	assignment string
+	in         string
+	algo       string
+	k          int
+	latency    time.Duration
+	window     int
+	z, spread  int
+	seed       uint64
+	addr       string
+}
+
+func parseArgs(args []string) (options, error) {
+	fs := flag.NewFlagSet("adwise-serve", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.assignment, "assignment", "", "precomputed assignment TSV (from adwise -out)")
+	fs.StringVar(&o.in, "in", "", "graph file to partition before serving (alternative to -assignment)")
+	fs.StringVar(&o.algo, "algo", "adwise", "partitioning strategy for -in: "+strings.Join(adwise.StrategyNames(), ", "))
+	fs.IntVar(&o.k, "k", 32, "partitions (with -in)")
+	fs.DurationVar(&o.latency, "latency", 0, "ADWISE latency preference L (with -in)")
+	fs.IntVar(&o.window, "window", 0, "ADWISE fixed window size (with -in)")
+	fs.IntVar(&o.z, "z", 1, "parallel partitioner instances (with -in)")
+	fs.IntVar(&o.spread, "spread", 0, "partitions per instance (default k/z, with -in)")
+	fs.Uint64Var(&o.seed, "seed", 42, "hash/graph seed")
+	fs.StringVar(&o.addr, "addr", ":8372", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	switch {
+	case o.assignment == "" && o.in == "":
+		return o, fmt.Errorf("need -assignment or -in")
+	case o.assignment != "" && o.in != "":
+		return o, fmt.Errorf("-assignment and -in are mutually exclusive")
+	case o.in != "" && o.k < 1:
+		return o, fmt.Errorf("-k must be >= 1")
+	}
+	return o, nil
+}
+
+// buildStore produces the serving store for the parsed options: load the
+// assignment TSV, or partition the input graph via the registry first.
+func buildStore(o options) (*adwise.LookupStore, error) {
+	a, err := loadAssignment(o)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := adwise.BuildIndex(a)
+	if err != nil {
+		return nil, err
+	}
+	return adwise.NewLookupStore(idx), nil
+}
+
+func loadAssignment(o options) (*adwise.Assignment, error) {
+	if o.assignment != "" {
+		return adwise.LoadAssignment(o.assignment)
+	}
+	g, err := adwise.LoadGraph(o.in)
+	if err != nil {
+		return nil, err
+	}
+	spec := adwise.StrategySpec{K: o.k, Seed: o.seed, Latency: o.latency, Window: o.window}
+	if o.z > 1 {
+		spread := o.spread
+		if spread == 0 {
+			spread = o.k / o.z
+		}
+		cfg := adwise.SpotlightConfig{K: o.k, Z: o.z, Spread: spread}
+		return adwise.RunStrategySpotlight(o.algo, g.Edges, cfg, spec)
+	}
+	s, err := adwise.NewStrategy(o.algo, spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(adwise.StreamGraph(g))
+}
+
+// newHandler wraps the lookup API and, when the service was started from
+// an assignment file, adds POST /v1/reload: re-read the file, rebuild the
+// index, and swap it in atomically.
+func newHandler(store *adwise.LookupStore, o options) http.Handler {
+	api := adwise.ServeHandler(store)
+	if o.assignment == "" {
+		return api
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
+		a, err := adwise.LoadAssignment(o.assignment)
+		if err == nil {
+			var idx *adwise.LookupIndex
+			if idx, err = adwise.BuildIndex(a); err == nil {
+				store.Swap(idx)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+			return
+		}
+		fmt.Fprintf(w, "{\"status\":\"reloaded\",\"generation\":%d}\n", store.Generation())
+	})
+	return mux
+}
+
+func run(args []string) error {
+	o, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	store, err := buildStore(o)
+	if err != nil {
+		return err
+	}
+	st := store.View().Stats()
+	fmt.Printf("index ready: k=%d edges=%d vertices=%d RF=%.3f shards=%d\n",
+		st.K, st.DistinctEdges, st.Vertices, st.ReplicationDegree, st.Shards)
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("serving partition lookups on http://%s\n", ln.Addr())
+	return adwise.NewLookupServer(newHandler(store, o)).Serve(ln)
+}

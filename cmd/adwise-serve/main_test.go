@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	adwise "github.com/adwise-go/adwise"
+)
+
+func writeFixtures(t *testing.T) (graphPath, assignmentPath string, a *adwise.Assignment) {
+	t.Helper()
+	g, err := adwise.Community(8, 8, 0.9, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	graphPath = filepath.Join(dir, "g.txt")
+	if err := adwise.SaveGraph(graphPath, g); err != nil {
+		t.Fatal(err)
+	}
+	s, err := adwise.NewStrategy("hdrf", adwise.StrategySpec{K: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err = s.Run(adwise.StreamGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignmentPath = filepath.Join(dir, "parts.tsv")
+	if err := adwise.SaveAssignment(assignmentPath, a); err != nil {
+		t.Fatal(err)
+	}
+	return graphPath, assignmentPath, a
+}
+
+func TestServeFromAssignment(t *testing.T) {
+	_, parts, a := writeFixtures(t)
+	o, err := parseArgs([]string{"-assignment", parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := buildStore(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(store, o))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	// Served partitions match the round-tripped assignment (last write
+	// wins for duplicate stream edges).
+	want := make(map[adwise.Edge]int32, a.Len())
+	for i, e := range a.Edges {
+		want[e] = a.Parts[i]
+	}
+	for i := 0; i < len(a.Edges); i += 37 {
+		e := a.Edges[i]
+		p, ok := store.View().Partition(e.Src, e.Dst)
+		if !ok || p != want[e] {
+			t.Fatalf("edge %v: served (%d,%v), want (%d,true)", e, p, ok, want[e])
+		}
+	}
+
+	// Hot reload: POST /v1/reload rebuilds from the file and bumps the
+	// generation without interrupting service.
+	resp, err = srv.Client().Post(srv.URL+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload = %d, want 200", resp.StatusCode)
+	}
+	var out struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Generation != 2 {
+		t.Errorf("generation after reload = %d, want 2", out.Generation)
+	}
+}
+
+func TestServeFromGraph(t *testing.T) {
+	graphPath, _, _ := writeFixtures(t)
+	o, err := parseArgs([]string{"-in", graphPath, "-algo", "adwise", "-k", "4", "-window", "64", "-z", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := buildStore(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.View().Stats()
+	if st.K != 4 || st.DistinctEdges == 0 {
+		t.Fatalf("stats = %+v, want k=4 and edges indexed", st)
+	}
+	// No -assignment: the reload endpoint is absent.
+	srv := httptest.NewServer(newHandler(store, o))
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("reload endpoint exposed without -assignment")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	graphPath, parts, _ := writeFixtures(t)
+	tests := [][]string{
+		{},                                         // neither input
+		{"-assignment", parts, "-in", graphPath},   // both inputs
+		{"-assignment", "/nonexistent.tsv"},        // unreadable assignment
+		{"-in", "/nonexistent.txt"},                // unreadable graph
+		{"-in", graphPath, "-algo", "bogus"},       // unknown strategy
+		{"-in", graphPath, "-k", "0"},              // invalid k
+		{"-assignment", parts, "-addr", "bogus:x"}, // unlistenable address
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -107,13 +107,17 @@ func TestFigure7aStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// dbh, hdrf, and one row per latency multiplier.
-	want := 2 + len(cfg.LatencyMultipliers)
+	// The registry-driven sweep: every sweep baseline, then one row per
+	// window strategy per latency multiplier.
+	baselines, windows := SweepBaselines(), WindowStrategies()
+	want := len(baselines) + len(windows)*len(cfg.LatencyMultipliers)
 	if len(tab.Rows) != want {
 		t.Fatalf("Figure 7a rows = %d, want %d", len(tab.Rows), want)
 	}
-	if tab.Rows[0][0] != "dbh" || tab.Rows[1][0] != "hdrf" {
-		t.Errorf("unexpected strategy order: %v", tab.Rows)
+	for i, name := range baselines {
+		if tab.Rows[i][0] != name {
+			t.Errorf("row %d strategy = %q, want %q", i, tab.Rows[i][0], name)
+		}
 	}
 	// TOTAL column must be the last and non-empty.
 	last := tab.Columns[len(tab.Columns)-1]
@@ -129,8 +133,8 @@ func TestFigure8Monotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 3 {
-		t.Fatalf("Figure 8 rows = %d, want 3 strategies", len(tab.Rows))
+	if want := len(SweepBaselines()) + len(WindowStrategies()); len(tab.Rows) != want {
+		t.Fatalf("Figure 8 rows = %d, want %d strategies", len(tab.Rows), want)
 	}
 	// Column 1 is spread=4, column 4 is spread=32: RF must not increase
 	// when the spread shrinks (the Figure 8 claim), allowing small noise.

@@ -34,7 +34,9 @@ func Figure8(cfg Config) (*Table, error) {
 	}
 	t.Columns = append(t.Columns, "reduction")
 
-	strategies := []string{"dbh", "hdrf", "adwise"}
+	// Registry-driven strategy set: the sweep baselines plus every
+	// window-class strategy, as in the paper's Figure 8 comparison.
+	strategies := append(SweepBaselines(), WindowStrategies()...)
 	for _, name := range strategies {
 		row := []any{name}
 		var first, last float64

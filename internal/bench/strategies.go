@@ -14,7 +14,8 @@ import (
 
 // StrategyResult is one partitioning run of an experiment.
 type StrategyResult struct {
-	// Name labels the strategy ("dbh", "hdrf", "adwise").
+	// Name labels the strategy (a registry name, e.g. "dbh", "hdrf",
+	// "adwise").
 	Name string
 	// LatencyPref is ADWISE's L (zero for the single-edge baselines).
 	LatencyPref time.Duration
@@ -82,38 +83,64 @@ func WithPresetClustering(preset gen.Preset) core.Option {
 	return core.WithClusteringScore(preset != gen.PresetOrkut)
 }
 
-// runADWISE partitions edges with ADWISE at the given latency preference
-// under the parallel-loading setup. Each of the Z instances adapts its own
-// window against the shared deadline L.
-func (c Config) runADWISE(preset gen.Preset, edges []graph.Edge, latencyPref time.Duration) (StrategyResult, error) {
-	return c.runStrategy("adwise", edges, runtime.Spec{
+// runWindow partitions edges with a window-class strategy at the given
+// latency preference under the parallel-loading setup. Each of the Z
+// instances adapts its own window against the shared deadline L.
+func (c Config) runWindow(name string, preset gen.Preset, edges []graph.Edge, latencyPref time.Duration) (StrategyResult, error) {
+	return c.runStrategy(name, edges, runtime.Spec{
 		Latency: latencyPref,
 		Options: []core.Option{WithPresetClustering(preset)},
 	})
 }
 
-// partitionSweep runs the Figure 7 strategy set on edges: DBH, HDRF, then
-// ADWISE at every configured latency multiple of the measured HDRF
-// latency.
+// SweepBaselines lists the single-edge baselines of the Figure 7/8
+// comparison sweep, derived from the registry (strategies registered with
+// Meta.Sweep), so a newly registered peer joins the tables automatically.
+func SweepBaselines() []string {
+	return runtime.NamesWhere(func(m runtime.Meta) bool { return m.Sweep })
+}
+
+// WindowStrategies lists the window-class strategies, derived from the
+// registry.
+func WindowStrategies() []string {
+	return runtime.NamesWhere(func(m runtime.Meta) bool { return m.Class == runtime.ClassWindow })
+}
+
+// partitionSweep runs the Figure 7 strategy set on edges: every sweep
+// baseline from the registry, then every window-class strategy at each
+// configured latency multiple of the slowest measured baseline latency
+// (the paper anchors the ADWISE sweep on HDRF, its slowest baseline).
 func (c Config) partitionSweep(preset gen.Preset, edges []graph.Edge) ([]StrategyResult, error) {
-	results := make([]StrategyResult, 0, 2+len(c.LatencyMultipliers))
-	for _, name := range []string{"dbh", "hdrf"} {
+	baselines := SweepBaselines()
+	windows := WindowStrategies()
+	if len(baselines) == 0 {
+		// Fail loudly: with no baselines the latency anchor would be zero
+		// and every window run would silently degenerate to L=0.
+		return nil, fmt.Errorf("bench: no sweep baselines registered (no strategy has Meta.Sweep)")
+	}
+	results := make([]StrategyResult, 0, len(baselines)+len(windows)*len(c.LatencyMultipliers))
+	var anchor time.Duration
+	for _, name := range baselines {
 		r, err := c.runBaseline(name, edges)
 		if err != nil {
 			return nil, err
 		}
 		c.progressf("  %s: RF=%.3f lat=%v", name, r.Summary.ReplicationDegree, r.Latency.Round(time.Millisecond))
 		results = append(results, r)
-	}
-	hdrfLatency := results[1].Latency
-	for _, mult := range c.LatencyMultipliers {
-		l := time.Duration(float64(hdrfLatency) * mult)
-		r, err := c.runADWISE(preset, edges, l)
-		if err != nil {
-			return nil, err
+		if r.Latency > anchor {
+			anchor = r.Latency
 		}
-		c.progressf("  adwise(L=%v): RF=%.3f lat=%v", l.Round(time.Millisecond), r.Summary.ReplicationDegree, r.Latency.Round(time.Millisecond))
-		results = append(results, r)
+	}
+	for _, name := range windows {
+		for _, mult := range c.LatencyMultipliers {
+			l := time.Duration(float64(anchor) * mult)
+			r, err := c.runWindow(name, preset, edges, l)
+			if err != nil {
+				return nil, err
+			}
+			c.progressf("  %s(L=%v): RF=%.3f lat=%v", name, l.Round(time.Millisecond), r.Summary.ReplicationDegree, r.Latency.Round(time.Millisecond))
+			results = append(results, r)
+		}
 	}
 	return results, nil
 }

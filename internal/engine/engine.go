@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/hashx"
 	"github.com/adwise-go/adwise/internal/metrics"
 )
 
@@ -214,10 +215,7 @@ func (e *Engine) ReplicaCount(v graph.VertexID) int { return len(e.replicas[v]) 
 // masterIndex picks which replica hosts the master of v: a SplitMix64 hash
 // of the vertex id modulo the replica count, deterministic across runs.
 func masterIndex(v graph.VertexID, replicas int) int {
-	x := uint64(v) + 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return int((x ^ (x >> 31)) % uint64(replicas))
+	return int(hashx.SplitMix64(uint64(v)) % uint64(replicas))
 }
 
 // parallel runs fn(p) for every partition on the worker pool and blocks

@@ -1,0 +1,16 @@
+// Package hashx holds the one 64-bit mixing function shared by every
+// hashing site in the tree — the vertex cache, the serving index, the
+// hashing partitioners, and the engine's master placement. Vertex ids are
+// dense small integers, so they need real mixing before being masked or
+// reduced; keeping a single implementation stops the copies from
+// drifting.
+package hashx
+
+// SplitMix64 is the SplitMix64 finaliser: a fast, well-distributed
+// 64-bit mix.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -40,13 +40,18 @@ func (a *Assignment) WriteTSV(w io.Writer) error {
 	return nil
 }
 
-// ReadTSV parses an assignment written by WriteTSV. The header comment is
-// optional; without it, k is inferred as max(partition)+1.
+// ReadTSV parses an assignment written by WriteTSV. The header comment —
+// a '#' line whose first token is a k= or edges= field, as WriteTSV
+// emits — is optional; without it, k is inferred as max(partition)+1.
+// Other comment lines are free text and ignored. When a header is
+// present it is authoritative: a malformed k= or edges= field, a row
+// whose partition is >= k, or a row count that contradicts edges= are
+// all errors — a bad row must never silently widen the assignment.
 func ReadTSV(r io.Reader) (*Assignment, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	a := &Assignment{}
-	headerK := -1
+	headerK, headerEdges := -1, -1
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -55,8 +60,18 @@ func ReadTSV(r io.Reader) (*Assignment, error) {
 			continue
 		}
 		if line[0] == '#' {
-			if k, ok := parseHeaderK(line); ok {
+			if !isHeader(line) {
+				continue // free-text comment
+			}
+			k, edges, err := parseHeader(line)
+			if err != nil {
+				return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+			}
+			if k > 0 {
 				headerK = k
+			}
+			if edges >= 0 {
+				headerEdges = edges
 			}
 			continue
 		}
@@ -79,6 +94,9 @@ func ReadTSV(r io.Reader) (*Assignment, error) {
 		if part < 0 {
 			return nil, fmt.Errorf("metrics: line %d: negative partition %d", lineNo, part)
 		}
+		if headerK > 0 && int(part) >= headerK {
+			return nil, fmt.Errorf("metrics: line %d: partition %d outside header k=%d", lineNo, part, headerK)
+		}
 		a.Edges = append(a.Edges, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)})
 		a.Parts = append(a.Parts, int32(part))
 		if int(part)+1 > a.K {
@@ -92,21 +110,47 @@ func ReadTSV(r io.Reader) (*Assignment, error) {
 		return nil, fmt.Errorf("metrics: empty assignment")
 	}
 	if headerK > 0 {
+		// A header placed after data rows still constrains them.
 		if a.K > headerK {
 			return nil, fmt.Errorf("metrics: header k=%d but partition ids reach %d", headerK, a.K-1)
 		}
 		a.K = headerK
 	}
+	if headerEdges >= 0 && len(a.Edges) != headerEdges {
+		return nil, fmt.Errorf("metrics: header declares %d edges but file has %d (truncated or padded assignment)",
+			headerEdges, len(a.Edges))
+	}
 	return a, nil
 }
 
-func parseHeaderK(line string) (int, bool) {
+// isHeader reports whether a comment line is an assignment header: its
+// first token after '#' is a k= or edges= field, the shape WriteTSV
+// emits. Any other comment is free text and is ignored wholesale — a
+// stray "k=..." word inside prose never becomes a half-parsed header.
+func isHeader(line string) bool {
+	fields := strings.Fields(strings.TrimPrefix(line, "#"))
+	return len(fields) > 0 &&
+		(strings.HasPrefix(fields[0], "k=") || strings.HasPrefix(fields[0], "edges="))
+}
+
+// parseHeader extracts the k= and edges= fields of a header comment,
+// returning -1 for absent fields. Present-but-malformed fields are
+// errors: a header that cannot be trusted must not be half-applied.
+func parseHeader(line string) (k, edges int, err error) {
+	k, edges = -1, -1
 	for _, f := range strings.Fields(line) {
 		if rest, found := strings.CutPrefix(f, "k="); found {
-			if k, err := strconv.Atoi(rest); err == nil && k > 0 {
-				return k, true
+			k, err = strconv.Atoi(rest)
+			if err != nil || k < 1 {
+				return -1, -1, fmt.Errorf("malformed header field %q: k must be a positive integer", f)
+			}
+		}
+		if rest, found := strings.CutPrefix(f, "edges="); found {
+			edges, err = strconv.Atoi(rest)
+			if err != nil || edges < 0 {
+				return -1, -1, fmt.Errorf("malformed header field %q: edges must be a non-negative integer", f)
 			}
 		}
 	}
-	return 0, false
+	return k, edges, nil
 }

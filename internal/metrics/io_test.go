@@ -57,6 +57,15 @@ func TestReadTSVErrors(t *testing.T) {
 		{"bad partition", "0 1 x\n"},
 		{"negative partition", "0 1 -2\n"},
 		{"header k too small", "# k=2\n0 1 5\n"},
+		{"row widens header k", "# k=4 edges=2\n0 1 3\n1 2 4\n"},
+		{"row equals header k", "# k=4\n0 1 4\n"},
+		{"header after rows too small", "0 1 5\n# k=2\n"},
+		{"malformed header k", "# k=abc edges=1\n0 1 0\n"},
+		{"zero header k", "# k=0 edges=1\n0 1 0\n"},
+		{"negative header k", "# k=-3 edges=1\n0 1 0\n"},
+		{"malformed header edges", "# k=2 edges=two\n0 1 0\n"},
+		{"truncated vs header edges", "# k=2 edges=3\n0 1 0\n1 2 1\n"},
+		{"padded vs header edges", "# k=2 edges=1\n0 1 0\n1 2 1\n"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -64,6 +73,47 @@ func TestReadTSVErrors(t *testing.T) {
 				t.Errorf("ReadTSV(%q) succeeded, want error", tc.in)
 			}
 		})
+	}
+}
+
+// TestReadTSVRejectsWideningRowAtTheRow pins the error to the offending
+// line: a row whose partition exceeds the declared k must fail with the
+// row's line number, not silently widen K (the pre-strictness behaviour)
+// or fail with a detached end-of-file error.
+func TestReadTSVRejectsWideningRowAtTheRow(t *testing.T) {
+	_, err := ReadTSV(strings.NewReader("# k=3 edges=3\n0 1 2\n1 2 7\n2 3 0\n"))
+	if err == nil {
+		t.Fatal("row with partition 7 under header k=3 accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name line 3", err)
+	}
+	if !strings.Contains(err.Error(), "partition 7") {
+		t.Errorf("error %q does not name the bad partition", err)
+	}
+}
+
+func TestReadTSVHeaderWithoutEdgesCount(t *testing.T) {
+	a, err := ReadTSV(strings.NewReader("# k=5\n0 1 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 5 || a.Len() != 1 {
+		t.Errorf("K=%d Len=%d, want 5,1", a.K, a.Len())
+	}
+}
+
+// TestReadTSVFreeTextComments pins the header-shape rule: only comments
+// whose first token is k=/edges= are headers; prose comments are ignored
+// even when they happen to contain a "k=..." word.
+func TestReadTSVFreeTextComments(t *testing.T) {
+	in := "# generated with k=auto tuning\n# see edges=approx note\n# k=6 edges=1\n0 1 5\n"
+	a, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 6 || a.Len() != 1 {
+		t.Errorf("K=%d Len=%d, want 6,1", a.K, a.Len())
 	}
 }
 

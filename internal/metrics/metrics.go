@@ -48,24 +48,32 @@ func (a *Assignment) Merge(b *Assignment) error {
 	return nil
 }
 
+// ForEachReplica streams every (vertex, partition) incidence of the
+// assignment in stream order: once per endpoint per edge, with self-loops
+// contributing a single incidence. It is the construction hook for
+// anything that derives per-vertex replica state from an assignment —
+// ReplicaSets here and the serving index build both go through it.
+func (a *Assignment) ForEachReplica(yield func(v graph.VertexID, p int32)) {
+	for i, e := range a.Edges {
+		p := a.Parts[i]
+		yield(e.Src, p)
+		if e.Dst != e.Src {
+			yield(e.Dst, p)
+		}
+	}
+}
+
 // ReplicaSets recomputes the replica set of every vertex from scratch.
 func (a *Assignment) ReplicaSets() map[graph.VertexID]bitset.Set {
 	sets := make(map[graph.VertexID]bitset.Set, 1024)
-	add := func(v graph.VertexID, p int32) {
+	a.ForEachReplica(func(v graph.VertexID, p int32) {
 		s, ok := sets[v]
 		if !ok {
 			s = bitset.New(a.K)
 		}
 		s.Add(int(p))
 		sets[v] = s
-	}
-	for i, e := range a.Edges {
-		p := a.Parts[i]
-		add(e.Src, p)
-		if e.Dst != e.Src {
-			add(e.Dst, p)
-		}
-	}
+	})
 	return sets
 }
 

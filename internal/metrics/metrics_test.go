@@ -149,3 +149,23 @@ func TestSummarizeEmpty(t *testing.T) {
 		t.Error("BalanceOK on empty = false")
 	}
 }
+
+func TestForEachReplicaIncidences(t *testing.T) {
+	a := NewAssignment(4, 3)
+	a.Add(graph.Edge{Src: 0, Dst: 1}, 2)
+	a.Add(graph.Edge{Src: 3, Dst: 3}, 1) // self-loop: one incidence
+	a.Add(graph.Edge{Src: 1, Dst: 0}, 0)
+	var got [][2]int32
+	a.ForEachReplica(func(v graph.VertexID, p int32) {
+		got = append(got, [2]int32{int32(v), p})
+	})
+	want := [][2]int32{{0, 2}, {1, 2}, {3, 1}, {1, 0}, {0, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("incidences = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("incidences = %v, want %v", got, want)
+		}
+	}
+}

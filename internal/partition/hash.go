@@ -2,6 +2,7 @@ package partition
 
 import (
 	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/hashx"
 	"github.com/adwise-go/adwise/internal/vcache"
 )
 
@@ -92,7 +93,7 @@ func NewTwoDim(cfg Config) (*TwoDim, error) {
 		cache:  vcache.New(cfg.K),
 		r:      r,
 		c:      c,
-		seedRe: splitmix64(cfg.Seed + 1),
+		seedRe: hashx.SplitMix64(cfg.Seed + 1),
 	}, nil
 }
 

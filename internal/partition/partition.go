@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/hashx"
 	"github.com/adwise-go/adwise/internal/metrics"
 	"github.com/adwise-go/adwise/internal/stream"
 	"github.com/adwise-go/adwise/internal/vcache"
@@ -89,21 +90,12 @@ func Run(s stream.Stream, p Partitioner) *metrics.Assignment {
 	}
 }
 
-// splitmix64 is the SplitMix64 finaliser: a fast, well-distributed 64-bit
-// mixing function used for all hashing strategies.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
 func hashVertex(seed uint64, v graph.VertexID) uint64 {
-	return splitmix64(seed ^ uint64(v))
+	return hashx.SplitMix64(seed ^ uint64(v))
 }
 
 func hashEdge(seed uint64, e graph.Edge) uint64 {
-	return splitmix64(seed ^ (uint64(e.Src)<<32 | uint64(e.Dst)))
+	return hashx.SplitMix64(seed ^ (uint64(e.Src)<<32 | uint64(e.Dst)))
 }
 
 // leastLoaded returns the partition with the smallest size among parts,

@@ -47,37 +47,73 @@ func (s Spec) partitionConfig() partition.Config {
 // Builder constructs a strategy instance from a Spec.
 type Builder func(Spec) (Strategy, error)
 
+// Class is the latency/quality family of a strategy, following the
+// paper's Figure 1 taxonomy.
+type Class string
+
+// The strategy classes.
+const (
+	// ClassSingleEdge is the one-decision-per-arriving-edge family
+	// (hashing and stateful streamers alike).
+	ClassSingleEdge Class = "single-edge"
+	// ClassWindow is the window-buffering family (ADWISE).
+	ClassWindow Class = "window"
+	// ClassAllEdge needs the whole chunk in memory (NE).
+	ClassAllEdge Class = "all-edge"
+)
+
+// Meta describes a registered strategy for registry-driven experiment
+// selection: the bench harness derives its figure strategy sets from
+// these fields instead of hard-coded name lists, so a newly registered
+// strategy appears in the tables automatically.
+type Meta struct {
+	// Name is the registry name.
+	Name string
+	// Class is the latency/quality family.
+	Class Class
+	// Sweep marks the degree-aware baselines the paper sweeps ADWISE
+	// against in the Figure 7/8 comparisons (DBH, HDRF, and any future
+	// peer registered with Sweep set).
+	Sweep bool
+}
+
 var (
 	regMu        sync.RWMutex
 	builders     = make(map[string]Builder)
+	metas        = make(map[string]Meta)
 	partitioners = make(map[string]func(partition.Config) (partition.Partitioner, error))
 	baselineList []string // single-edge names in canonical (Figure 1) order
 )
 
-// Register adds a strategy builder under name. It panics on a duplicate
-// name: registration happens at init time and a collision is a programming
-// error.
-func Register(name string, b Builder) {
+// Register adds a strategy builder under meta.Name. It panics on a
+// duplicate name: registration happens at init time and a collision is a
+// programming error.
+func Register(meta Meta, b Builder) {
 	regMu.Lock()
 	defer regMu.Unlock()
-	if _, dup := builders[name]; dup {
-		panic(fmt.Sprintf("runtime: strategy %q registered twice", name))
+	if meta.Name == "" {
+		panic("runtime: registering a strategy without a name")
 	}
-	builders[name] = b
+	if _, dup := builders[meta.Name]; dup {
+		panic(fmt.Sprintf("runtime: strategy %q registered twice", meta.Name))
+	}
+	builders[meta.Name] = b
+	metas[meta.Name] = meta
 }
 
-// RegisterPartitioner adds a single-edge baseline under name: the raw
-// constructor is retained for NewPartitioner callers and also wrapped as a
-// Strategy builder.
-func RegisterPartitioner(name string, build func(partition.Config) (partition.Partitioner, error)) {
-	Register(name, func(s Spec) (Strategy, error) {
+// RegisterPartitioner adds a single-edge baseline under meta.Name: the
+// raw constructor is retained for NewPartitioner callers and also wrapped
+// as a Strategy builder. The class is forced to ClassSingleEdge.
+func RegisterPartitioner(meta Meta, build func(partition.Config) (partition.Partitioner, error)) {
+	meta.Class = ClassSingleEdge
+	Register(meta, func(s Spec) (Strategy, error) {
 		p, err := build(s.partitionConfig())
 		if err != nil {
 			return nil, err
 		}
 		return FromPartitioner(p), nil
 	})
-	recordBaseline(name, build)
+	recordBaseline(meta.Name, build)
 }
 
 // recordBaseline notes a single-edge constructor for NewPartitioner and the
@@ -115,14 +151,31 @@ func NewPartitioner(name string, cfg partition.Config) (partition.Partitioner, e
 
 // Names lists every registered strategy, sorted.
 func Names() []string {
+	return NamesWhere(func(Meta) bool { return true })
+}
+
+// NamesWhere lists the registered strategies whose Meta satisfies pred,
+// sorted. It is the filter behind the bench harness's registry-driven
+// experiment matrices.
+func NamesWhere(pred func(Meta) bool) []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
-	out := make([]string, 0, len(builders))
-	for name := range builders {
-		out = append(out, name)
+	out := make([]string, 0, len(metas))
+	for name, m := range metas {
+		if pred(m) {
+			out = append(out, name)
+		}
 	}
 	sort.Strings(out)
 	return out
+}
+
+// MetaOf returns the registration metadata of a strategy.
+func MetaOf(name string) (Meta, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := metas[name]
+	return m, ok
 }
 
 // Baselines lists the single-edge strategies in canonical (Figure 1)
@@ -149,17 +202,17 @@ func lift[P partition.Partitioner](build func(partition.Config) (P, error)) func
 }
 
 func init() {
-	RegisterPartitioner("hash", lift(partition.NewHash))
-	RegisterPartitioner("1d", lift(partition.NewOneDim))
-	RegisterPartitioner("2d", lift(partition.NewTwoDim))
-	RegisterPartitioner("grid", lift(partition.NewGrid))
-	RegisterPartitioner("greedy", lift(partition.NewGreedy))
-	RegisterPartitioner("dbh", lift(partition.NewDBH))
+	RegisterPartitioner(Meta{Name: "hash"}, lift(partition.NewHash))
+	RegisterPartitioner(Meta{Name: "1d"}, lift(partition.NewOneDim))
+	RegisterPartitioner(Meta{Name: "2d"}, lift(partition.NewTwoDim))
+	RegisterPartitioner(Meta{Name: "grid"}, lift(partition.NewGrid))
+	RegisterPartitioner(Meta{Name: "greedy"}, lift(partition.NewGreedy))
+	RegisterPartitioner(Meta{Name: "dbh", Sweep: true}, lift(partition.NewDBH))
 
 	// HDRF takes a balancing weight: its Strategy builder honours
 	// Spec.Lambda (0 = the authors' recommended default), while the raw
 	// partitioner constructor pins the default.
-	Register("hdrf", func(s Spec) (Strategy, error) {
+	Register(Meta{Name: "hdrf", Class: ClassSingleEdge, Sweep: true}, func(s Spec) (Strategy, error) {
 		lambda := s.Lambda
 		if lambda == 0 {
 			lambda = partition.HDRFDefaultLambda
@@ -174,7 +227,7 @@ func init() {
 		return partition.NewHDRF(cfg, partition.HDRFDefaultLambda)
 	})
 
-	Register("adwise", func(s Spec) (Strategy, error) {
+	Register(Meta{Name: "adwise", Class: ClassWindow}, func(s Spec) (Strategy, error) {
 		opts := []core.Option{core.WithLatencyPreference(s.Latency)}
 		if len(s.Allowed) > 0 {
 			opts = append(opts, core.WithAllowedPartitions(s.Allowed))
@@ -193,7 +246,7 @@ func init() {
 		return adwiseStrategy{ad}, nil
 	})
 
-	Register("ne", func(s Spec) (Strategy, error) {
+	Register(Meta{Name: "ne", Class: ClassAllEdge}, func(s Spec) (Strategy, error) {
 		if s.K < 1 {
 			return nil, fmt.Errorf("runtime: ne needs K >= 1, got %d", s.K)
 		}

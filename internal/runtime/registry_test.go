@@ -35,6 +35,40 @@ func TestBaselinesOrder(t *testing.T) {
 	}
 }
 
+func TestMetaDrivenFilters(t *testing.T) {
+	sweep := NamesWhere(func(m Meta) bool { return m.Sweep })
+	if len(sweep) != 2 || sweep[0] != "dbh" || sweep[1] != "hdrf" {
+		t.Errorf("sweep baselines = %v, want [dbh hdrf]", sweep)
+	}
+	windows := NamesWhere(func(m Meta) bool { return m.Class == ClassWindow })
+	if len(windows) != 1 || windows[0] != "adwise" {
+		t.Errorf("window strategies = %v, want [adwise]", windows)
+	}
+	allEdge := NamesWhere(func(m Meta) bool { return m.Class == ClassAllEdge })
+	if len(allEdge) != 1 || allEdge[0] != "ne" {
+		t.Errorf("all-edge strategies = %v, want [ne]", allEdge)
+	}
+	// Every registered name carries a meta with a class, and every
+	// single-edge baseline is classed as such.
+	for _, name := range Names() {
+		m, ok := MetaOf(name)
+		if !ok || m.Name != name {
+			t.Fatalf("MetaOf(%q) = (%+v, %v)", name, m, ok)
+		}
+		if m.Class == "" {
+			t.Errorf("strategy %q registered without a class", name)
+		}
+	}
+	for _, name := range Baselines() {
+		if m, _ := MetaOf(name); m.Class != ClassSingleEdge {
+			t.Errorf("baseline %q classed %q, want %q", name, m.Class, ClassSingleEdge)
+		}
+	}
+	if _, ok := MetaOf("bogus"); ok {
+		t.Error("MetaOf returned metadata for an unregistered name")
+	}
+}
+
 func TestNewUnknownStrategy(t *testing.T) {
 	if _, err := New("bogus", Spec{K: 4}); err == nil {
 		t.Error("unknown strategy accepted")

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/adwise-go/adwise/internal/metrics"
+)
+
+// TestEndToEnd walks the whole consumption path: partition a generated
+// graph with a registry strategy, build the serving index, and resolve
+// every edge and a sample of vertices over real HTTP, checking the
+// responses against the assignment ground truth.
+func TestEndToEnd(t *testing.T) {
+	a := testAssignment(t, "adwise", 8)
+	ix, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(NewStore(ix)))
+	defer srv.Close()
+
+	// Ground truth under last-write-wins, matching the index contract.
+	want := make(map[[2]uint32]int32, a.Len())
+	for i, e := range a.Edges {
+		want[[2]uint32{uint32(e.Src), uint32(e.Dst)}] = a.Parts[i]
+	}
+
+	checked := 0
+	for key, p := range want {
+		if checked >= 200 {
+			break
+		}
+		checked++
+		body := getJSON(t, srv, fmt.Sprintf("/v1/edge?src=%d&dst=%d", key[0], key[1]), http.StatusOK)
+		if got := int32(body["partition"].(float64)); got != p {
+			t.Fatalf("edge (%d,%d): served partition %d, want %d", key[0], key[1], got, p)
+		}
+	}
+
+	// Replica sets and stats follow the distinct-edge view the index
+	// serves (last write wins on duplicate stream edges).
+	deduped := dedupe(a)
+	sets := deduped.ReplicaSets()
+	checked = 0
+	for v, set := range sets {
+		if checked >= 200 {
+			break
+		}
+		checked++
+		body := getJSON(t, srv, fmt.Sprintf("/v1/vertex?v=%d", v), http.StatusOK)
+		if got := int(body["count"].(float64)); got != set.Count() {
+			t.Fatalf("vertex %d: served %d replicas, want %d", v, got, set.Count())
+		}
+	}
+
+	stats := getJSON(t, srv, "/v1/stats", http.StatusOK)
+	s := metrics.Summarize(deduped)
+	if got := int(stats["vertices"].(float64)); got != s.Vertices {
+		t.Errorf("served vertices = %d, want %d", got, s.Vertices)
+	}
+	if got := stats["replication_degree"].(float64); got != s.ReplicationDegree {
+		t.Errorf("served replication degree = %v, want %v", got, s.ReplicationDegree)
+	}
+}

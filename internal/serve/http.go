@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/adwise-go/adwise/internal/graph"
+)
+
+// NewServer wraps a handler in an http.Server with the slow-client
+// timeouts a public-facing lookup service needs: without them, clients
+// that trickle header or body bytes pin goroutines and file descriptors
+// indefinitely. Lookups are sub-microsecond, so generous bounds lose
+// nothing.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// MaxBatch bounds the edge count of one /v1/edges request.
+const MaxBatch = 1 << 16
+
+// maxBatchBodyBytes bounds the /v1/edges request body before decoding, so
+// the MaxBatch cap bounds memory and not just the post-decode length. A
+// maximal legal batch is ~24 bytes of minified JSON per edge; 64 bytes
+// per edge leaves room for indented encodings of any legal batch.
+const maxBatchBodyBytes = MaxBatch * 64
+
+// NewHandler returns the lookup service's HTTP API over a store:
+//
+//	GET  /healthz                     liveness + readiness (503 until an index lands)
+//	GET  /v1/edge?src=S&dst=D         partition of one edge
+//	GET  /v1/vertex?v=V               replica set of one vertex
+//	POST /v1/edges {"edges":[[s,d],…]} batch edge lookup
+//	GET  /v1/stats                    index statistics
+//
+// Every handler resolves the store view once and answers entirely from
+// that immutable snapshot, so responses stay self-consistent across a
+// concurrent Swap.
+func NewHandler(s *Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.View() == nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "empty"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "generation": s.Generation()})
+	})
+	mux.HandleFunc("GET /v1/edge", withIndex(s, handleEdge))
+	mux.HandleFunc("GET /v1/vertex", withIndex(s, handleVertex))
+	mux.HandleFunc("POST /v1/edges", withIndex(s, handleEdgeBatch))
+	mux.HandleFunc("GET /v1/stats", withIndex(s, func(w http.ResponseWriter, r *http.Request, ix *Index) {
+		writeJSON(w, http.StatusOK, ix.Stats())
+	}))
+	return mux
+}
+
+// withIndex resolves the store view once per request and rejects requests
+// arriving before the first index is installed.
+func withIndex(s *Store, h func(http.ResponseWriter, *http.Request, *Index)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ix := s.View()
+		if ix == nil {
+			writeError(w, http.StatusServiceUnavailable, "no index loaded")
+			return
+		}
+		h(w, r, ix)
+	}
+}
+
+func handleEdge(w http.ResponseWriter, r *http.Request, ix *Index) {
+	src, err := vertexParam(r, "src")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	dst, err := vertexParam(r, "dst")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, ok := ix.Partition(src, dst)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("edge (%d,%d) not in the partitioning", src, dst))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"src": src, "dst": dst, "partition": p})
+}
+
+func handleVertex(w http.ResponseWriter, r *http.Request, ix *Index) {
+	v, err := vertexParam(r, "v")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	replicas := ix.Replicas(v)
+	if replicas.Empty() {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("vertex %d not in the partitioning", v))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vertex":   v,
+		"count":    replicas.Count(),
+		"replicas": replicas.Members(),
+	})
+}
+
+// batchRequest is the /v1/edges body: edges as [src,dst] pairs.
+type batchRequest struct {
+	Edges [][2]uint32 `json:"edges"`
+}
+
+func handleEdgeBatch(w http.ResponseWriter, r *http.Request, ix *Index) {
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding body: "+err.Error())
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, "empty edge batch")
+		return
+	}
+	if len(req.Edges) > MaxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d edges exceeds the %d cap", len(req.Edges), MaxBatch))
+		return
+	}
+	edges := make([]graph.Edge, len(req.Edges))
+	for i, pair := range req.Edges {
+		edges[i] = graph.Edge{Src: graph.VertexID(pair[0]), Dst: graph.VertexID(pair[1])}
+	}
+	parts := ix.PartitionBatch(edges, make([]int32, 0, len(edges)))
+	writeJSON(w, http.StatusOK, map[string]any{"partitions": parts})
+}
+
+func vertexParam(r *http.Request, name string) (graph.VertexID, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing %q parameter", name)
+	}
+	v, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return graph.VertexID(v), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

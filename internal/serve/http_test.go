@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/metrics"
+)
+
+func fixedIndex(t *testing.T) *Index {
+	t.Helper()
+	a := metrics.NewAssignment(4, 3)
+	a.Add(graph.Edge{Src: 0, Dst: 1}, 2)
+	a.Add(graph.Edge{Src: 1, Dst: 2}, 3)
+	a.Add(graph.Edge{Src: 2, Dst: 3}, 2)
+	ix, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: decoding body: %v", path, err)
+	}
+	return body
+}
+
+func TestHTTPEdgeAndVertex(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewStore(fixedIndex(t))))
+	defer srv.Close()
+
+	body := getJSON(t, srv, "/v1/edge?src=0&dst=1", http.StatusOK)
+	if body["partition"].(float64) != 2 {
+		t.Errorf("edge (0,1) partition = %v, want 2", body["partition"])
+	}
+	// Reversed orientation resolves to the same edge.
+	body = getJSON(t, srv, "/v1/edge?src=1&dst=0", http.StatusOK)
+	if body["partition"].(float64) != 2 {
+		t.Errorf("edge (1,0) partition = %v, want 2", body["partition"])
+	}
+	getJSON(t, srv, "/v1/edge?src=7&dst=9", http.StatusNotFound)
+	getJSON(t, srv, "/v1/edge?src=abc&dst=1", http.StatusBadRequest)
+	getJSON(t, srv, "/v1/edge?dst=1", http.StatusBadRequest)
+
+	body = getJSON(t, srv, "/v1/vertex?v=2", http.StatusOK)
+	if body["count"].(float64) != 2 {
+		t.Errorf("vertex 2 count = %v, want 2 (partitions 2 and 3)", body["count"])
+	}
+	getJSON(t, srv, "/v1/vertex?v=99", http.StatusNotFound)
+	getJSON(t, srv, "/v1/vertex?v=-1", http.StatusBadRequest)
+}
+
+func TestHTTPBatch(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewStore(fixedIndex(t))))
+	defer srv.Close()
+
+	post := func(body string) (*http.Response, error) {
+		return srv.Client().Post(srv.URL+"/v1/edges", "application/json", bytes.NewBufferString(body))
+	}
+	resp, err := post(`{"edges":[[0,1],[5,6],[2,1]]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200", resp.StatusCode)
+	}
+	var out struct {
+		Partitions []int32 `json:"partitions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{2, -1, 3}
+	for i := range want {
+		if out.Partitions[i] != want[i] {
+			t.Fatalf("batch partitions = %v, want %v", out.Partitions, want)
+		}
+	}
+
+	for _, bad := range []string{`{"edges":[]}`, `{bogus`, `{"other":1}`} {
+		resp, err := post(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("batch %q status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPStatsAndHealth(t *testing.T) {
+	store := NewStore(nil)
+	srv := httptest.NewServer(NewHandler(store))
+	defer srv.Close()
+
+	// Before any index: unhealthy, lookups unavailable.
+	getJSON(t, srv, "/healthz", http.StatusServiceUnavailable)
+	getJSON(t, srv, "/v1/stats", http.StatusServiceUnavailable)
+	getJSON(t, srv, "/v1/edge?src=0&dst=1", http.StatusServiceUnavailable)
+
+	store.Swap(fixedIndex(t))
+	body := getJSON(t, srv, "/healthz", http.StatusOK)
+	if body["generation"].(float64) != 1 {
+		t.Errorf("generation = %v, want 1", body["generation"])
+	}
+	stats := getJSON(t, srv, "/v1/stats", http.StatusOK)
+	if stats["k"].(float64) != 4 || stats["distinct_edges"].(float64) != 3 || stats["vertices"].(float64) != 4 {
+		t.Errorf("stats = %v, want k=4 distinct_edges=3 vertices=4", stats)
+	}
+}
+
+func TestHTTPBatchCap(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewStore(fixedIndex(t))))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	buf.WriteString(`{"edges":[`)
+	for i := 0; i <= MaxBatch; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "[%d,%d]", i, i+1)
+	}
+	buf.WriteString(`]}`)
+	resp, err := srv.Client().Post(srv.URL+"/v1/edges", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,422 @@
+// Package serve is the consumption side of the partitioner: a compact,
+// immutable lookup index over a completed partitioning, answering the two
+// questions distributed graph-processing workers ask at runtime (§II,
+// Figure 3 of the paper): which partition holds an edge, and on which
+// partitions is a vertex replicated.
+//
+// The index is built once from a *metrics.Assignment and never mutated.
+// Edge→partition lookups go through open-addressing tables sharded by
+// hash(src,dst) — sharding parallelises construction; immutability makes
+// every lookup safe for unbounded concurrent readers with no locks.
+// Vertex→replica-set lookups probe a single open-addressing table whose
+// replica bitmaps share one word arena in the style of internal/vcache:
+// flat key/count arrays plus ceil(k/64) arena words per slot, no per-vertex
+// heap allocation, and zero allocations on every read path.
+//
+// Store layers atomic hot-swap on top: a freshly computed assignment
+// replaces the live index with one pointer store while in-flight lookups
+// keep reading the old one.
+package serve
+
+import (
+	"fmt"
+	"math/bits"
+	goruntime "runtime"
+	"sync"
+
+	"github.com/adwise-go/adwise/internal/bitset"
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/hashx"
+	"github.com/adwise-go/adwise/internal/metrics"
+)
+
+// edgeShard is one open-addressing edge→partition table. A slot is
+// occupied iff parts[slot] >= 0; partition ids are always non-negative, so
+// -1 is a safe empty marker even for the packed key 0 (edge 0→0).
+type edgeShard struct {
+	mask  uint64
+	keys  []uint64 // packed src<<32 | dst
+	parts []int32  // -1 = empty
+}
+
+// Index is the immutable lookup structure. All methods are safe for
+// unbounded concurrent readers; none of them allocates.
+type Index struct {
+	k         int
+	wpe       int // replica words per vertex slot: ceil(k/64)
+	shardBits uint
+	shardMask uint64
+	shards    []edgeShard
+
+	// Vertex table: open-addressing with the replica bitmaps in one shared
+	// arena (wpe words per slot). A slot is occupied iff counts[slot] != 0.
+	vMask   uint64
+	vKeys   []graph.VertexID
+	vCounts []int32  // replica count per vertex, >= 1 when occupied
+	vWords  []uint64 // bitmap arena
+
+	rows     int   // assignment rows indexed (duplicates included)
+	distinct int   // distinct (src,dst) keys
+	vertices int   // distinct vertices
+	replicas int64 // Σ|Rv|
+	sizes    []int64
+}
+
+// edgeKey packs an oriented edge into one 64-bit table key.
+func edgeKey(src, dst graph.VertexID) uint64 {
+	return uint64(src)<<32 | uint64(dst)
+}
+
+// nextPow2 returns the smallest power of two >= n (minimum 1).
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// DefaultShards picks the edge-table shard count for a build: enough
+// shards to keep every core busy during construction, capped so tiny
+// assignments do not fragment into near-empty tables.
+func DefaultShards(rows int) int {
+	if rows < 1<<13 {
+		return 1
+	}
+	s := nextPow2(goruntime.GOMAXPROCS(0))
+	if s > 64 {
+		s = 64
+	}
+	return s
+}
+
+// Build constructs the index from a completed assignment with an
+// automatically chosen shard count.
+func Build(a *metrics.Assignment) (*Index, error) {
+	return BuildSharded(a, DefaultShards(a.Len()))
+}
+
+// BuildSharded constructs the index with an explicit shard count (rounded
+// up to a power of two). If the same oriented edge appears more than once
+// in the stream, the last assignment wins — the serving view reflects the
+// most recent placement.
+func BuildSharded(a *metrics.Assignment, shards int) (*Index, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("serve: shard count must be >= 1, got %d", shards)
+	}
+	shards = nextPow2(shards)
+
+	ix := &Index{
+		k:         a.K,
+		wpe:       (a.K + 63) / 64,
+		shardBits: uint(bits.TrailingZeros(uint(shards))),
+		shardMask: uint64(shards - 1),
+		shards:    make([]edgeShard, shards),
+		rows:      a.Len(),
+		sizes:     make([]int64, a.K),
+	}
+
+	// Bucket row indices by shard with a stable counting sort, so each
+	// shard goroutine walks only its own rows in stream order (stream
+	// order is what makes last-write-wins deterministic).
+	counts := make([]int, shards)
+	hashes := make([]uint64, a.Len())
+	for i, e := range a.Edges {
+		h := hashx.SplitMix64(edgeKey(e.Src, e.Dst))
+		hashes[i] = h
+		counts[h&ix.shardMask]++
+	}
+	offsets := make([]int, shards+1)
+	for s := 0; s < shards; s++ {
+		offsets[s+1] = offsets[s] + counts[s]
+	}
+	rowIdx := make([]int32, a.Len())
+	fill := append([]int(nil), offsets[:shards]...)
+	for i, h := range hashes {
+		s := h & ix.shardMask
+		rowIdx[fill[s]] = int32(i)
+		fill[s]++
+	}
+
+	// One goroutine per shard inserts its rows.
+	var wg sync.WaitGroup
+	sizesPer := make([][]int64, shards)
+	distinctPer := make([]int, shards)
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rows := rowIdx[offsets[s]:offsets[s+1]]
+			sizes := make([]int64, a.K)
+			sh := &ix.shards[s]
+			sh.init(len(rows))
+			n := 0
+			for _, r := range rows {
+				e := a.Edges[r]
+				p := a.Parts[r]
+				old := sh.insert(hashes[r]>>ix.shardBits, edgeKey(e.Src, e.Dst), p)
+				if old < 0 {
+					n++
+				} else {
+					sizes[old]--
+				}
+				sizes[p]++
+			}
+			sizesPer[s] = sizes
+			distinctPer[s] = n
+		}(s)
+	}
+	wg.Wait()
+
+	for s := 0; s < shards; s++ {
+		ix.distinct += distinctPer[s]
+		for p, n := range sizesPer[s] {
+			ix.sizes[p] += n
+		}
+	}
+
+	// The vertex table is derived from the finished edge tables, not the
+	// raw stream, so replica sets agree with what Partition serves when a
+	// duplicate stream edge was re-assigned (last write wins everywhere).
+	ix.buildVertexTable()
+	return ix, nil
+}
+
+// init sizes the shard for up to rows distinct keys at load factor <= 1/2.
+func (sh *edgeShard) init(rows int) {
+	slots := nextPow2(rows * 2)
+	if slots < 16 {
+		slots = 16
+	}
+	sh.mask = uint64(slots - 1)
+	sh.keys = make([]uint64, slots)
+	sh.parts = make([]int32, slots)
+	for i := range sh.parts {
+		sh.parts[i] = -1
+	}
+}
+
+// insert places key at its probe position, overwriting a duplicate. It
+// returns the previous partition, or -1 if the key is new. h is the mixed
+// hash already shifted past the shard-selection bits.
+func (sh *edgeShard) insert(h uint64, key uint64, p int32) (old int32) {
+	i := h & sh.mask
+	for {
+		if sh.parts[i] < 0 {
+			sh.keys[i] = key
+			sh.parts[i] = p
+			return -1
+		}
+		if sh.keys[i] == key {
+			old = sh.parts[i]
+			sh.parts[i] = p
+			return old
+		}
+		i = (i + 1) & sh.mask
+	}
+}
+
+// buildVertexTable fills the vertex replica table from the distinct-edge
+// view held by the finished shards. Unlike the edge shards it grows on
+// demand (the distinct-vertex count is unknown up front); growth only
+// happens during Build, never after.
+func (ix *Index) buildVertexTable() {
+	const initial = 1024
+	ix.vMask = initial - 1
+	ix.vKeys = make([]graph.VertexID, initial)
+	ix.vCounts = make([]int32, initial)
+	ix.vWords = make([]uint64, initial*ix.wpe)
+	for s := range ix.shards {
+		sh := &ix.shards[s]
+		for i, p := range sh.parts {
+			if p < 0 {
+				continue
+			}
+			src := graph.VertexID(sh.keys[i] >> 32)
+			dst := graph.VertexID(sh.keys[i] & 0xffffffff)
+			ix.vAdd(src, int(p))
+			if dst != src {
+				ix.vAdd(dst, int(p))
+			}
+		}
+	}
+}
+
+// vAdd records a replica of v on partition p, growing the table when an
+// insertion would push the load factor past 3/4.
+func (ix *Index) vAdd(v graph.VertexID, p int) {
+	i := hashx.SplitMix64(uint64(v)) & ix.vMask
+	for {
+		c := ix.vCounts[i]
+		if c == 0 {
+			if uint64(ix.vertices+1)*4 > (ix.vMask+1)*3 {
+				ix.vGrow()
+				i = hashx.SplitMix64(uint64(v)) & ix.vMask
+				continue
+			}
+			ix.vKeys[i] = v
+			ix.vCounts[i] = 1
+			ix.vWords[int(i)*ix.wpe+p>>6] |= 1 << (uint(p) & 63)
+			ix.vertices++
+			ix.replicas++
+			return
+		}
+		if ix.vKeys[i] == v {
+			w, m := int(i)*ix.wpe+p>>6, uint64(1)<<(uint(p)&63)
+			if ix.vWords[w]&m == 0 {
+				ix.vWords[w] |= m
+				ix.vCounts[i] = c + 1
+				ix.replicas++
+			}
+			return
+		}
+		i = (i + 1) & ix.vMask
+	}
+}
+
+// vGrow doubles the vertex table and reinserts every occupied slot.
+func (ix *Index) vGrow() {
+	oldKeys, oldCounts, oldWords := ix.vKeys, ix.vCounts, ix.vWords
+	slots := (ix.vMask + 1) * 2
+	ix.vMask = slots - 1
+	ix.vKeys = make([]graph.VertexID, slots)
+	ix.vCounts = make([]int32, slots)
+	ix.vWords = make([]uint64, int(slots)*ix.wpe)
+	for s, c := range oldCounts {
+		if c == 0 {
+			continue
+		}
+		i := hashx.SplitMix64(uint64(oldKeys[s])) & ix.vMask
+		for ix.vCounts[i] != 0 {
+			i = (i + 1) & ix.vMask
+		}
+		ix.vKeys[i] = oldKeys[s]
+		ix.vCounts[i] = c
+		copy(ix.vWords[int(i)*ix.wpe:(int(i)+1)*ix.wpe], oldWords[s*ix.wpe:(s+1)*ix.wpe])
+	}
+}
+
+// K returns the partition count the index was built for.
+func (ix *Index) K() int { return ix.k }
+
+// Shards returns the edge-table shard count.
+func (ix *Index) Shards() int { return len(ix.shards) }
+
+// lookup probes the sharded edge tables for an exact packed key.
+func (ix *Index) lookup(key uint64) (int32, bool) {
+	h := hashx.SplitMix64(key)
+	sh := &ix.shards[h&ix.shardMask]
+	i := (h >> ix.shardBits) & sh.mask
+	for {
+		p := sh.parts[i]
+		if p < 0 {
+			return -1, false
+		}
+		if sh.keys[i] == key {
+			return p, true
+		}
+		i = (i + 1) & sh.mask
+	}
+}
+
+// Partition returns the partition holding edge (src,dst). A vertex-cut
+// does not distinguish edge direction, so if the oriented key is unknown
+// the reversed orientation is tried before reporting a miss. The second
+// return is false for edges that were never assigned.
+func (ix *Index) Partition(src, dst graph.VertexID) (int32, bool) {
+	if p, ok := ix.lookup(edgeKey(src, dst)); ok {
+		return p, true
+	}
+	if src == dst {
+		return -1, false
+	}
+	return ix.lookup(edgeKey(dst, src))
+}
+
+// PartitionBatch resolves many edges in one call, writing partition ids
+// (or -1 for unknown edges) into dst, which is grown only if its capacity
+// is insufficient. It returns the filled slice.
+func (ix *Index) PartitionBatch(edges []graph.Edge, dst []int32) []int32 {
+	if cap(dst) < len(edges) {
+		dst = make([]int32, len(edges))
+	} else {
+		dst = dst[:len(edges)]
+	}
+	for i, e := range edges {
+		p, ok := ix.Partition(e.Src, e.Dst)
+		if !ok {
+			p = -1
+		}
+		dst[i] = p
+	}
+	return dst
+}
+
+// vFind returns v's vertex-table slot, or -1 if v was never seen.
+func (ix *Index) vFind(v graph.VertexID) int {
+	i := hashx.SplitMix64(uint64(v)) & ix.vMask
+	for {
+		if ix.vCounts[i] == 0 {
+			return -1
+		}
+		if ix.vKeys[i] == v {
+			return int(i)
+		}
+		i = (i + 1) & ix.vMask
+	}
+}
+
+// Replicas returns the replica set of v as a read-only view into the
+// bitmap arena — a slice header, no allocation. The view is valid for the
+// lifetime of the index (the index is immutable). Unknown vertices get an
+// empty set of capacity 0.
+func (ix *Index) Replicas(v graph.VertexID) bitset.Set {
+	if slot := ix.vFind(v); slot >= 0 {
+		return bitset.View(ix.vWords[slot*ix.wpe:(slot+1)*ix.wpe], ix.k)
+	}
+	return bitset.Set{}
+}
+
+// ReplicaCount returns |Rv|, zero for unknown vertices.
+func (ix *Index) ReplicaCount(v graph.VertexID) int {
+	if slot := ix.vFind(v); slot >= 0 {
+		return int(ix.vCounts[slot])
+	}
+	return 0
+}
+
+// Stats reports what the index holds. Everything except Rows describes
+// the distinct-edge view under last-write-wins — Sizes, Replicas, and
+// ReplicationDegree all match what Partition and Replicas serve, which
+// can differ from metrics.Summarize on multigraph streams where a
+// duplicate edge was re-assigned.
+type Stats struct {
+	K                 int     `json:"k"`
+	Rows              int     `json:"rows"`
+	DistinctEdges     int     `json:"distinct_edges"`
+	Vertices          int     `json:"vertices"`
+	Replicas          int64   `json:"replicas"`
+	ReplicationDegree float64 `json:"replication_degree"`
+	Shards            int     `json:"shards"`
+	Sizes             []int64 `json:"sizes"`
+}
+
+// Stats returns a snapshot of the index statistics. The Sizes slice is a
+// copy; this method allocates and is not meant for the per-lookup path.
+func (ix *Index) Stats() Stats {
+	s := Stats{
+		K:             ix.k,
+		Rows:          ix.rows,
+		DistinctEdges: ix.distinct,
+		Vertices:      ix.vertices,
+		Replicas:      ix.replicas,
+		Shards:        len(ix.shards),
+		Sizes:         append([]int64(nil), ix.sizes...),
+	}
+	if ix.vertices > 0 {
+		s.ReplicationDegree = float64(ix.replicas) / float64(ix.vertices)
+	}
+	return s
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/adwise-go/adwise/internal/gen"
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/runtime"
+	"github.com/adwise-go/adwise/internal/stream"
+)
+
+// testAssignment partitions a generated graph through the registry so the
+// fixture exercises the real producer path.
+func testAssignment(t testing.TB, strategy string, k int) *metrics.Assignment {
+	t.Helper()
+	g, err := gen.BrainLike(0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := runtime.New(strategy, runtime.Spec{K: k, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Run(stream.FromGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBuildMatchesAssignment(t *testing.T) {
+	a := testAssignment(t, "hdrf", 8)
+	for _, shards := range []int{1, 4, 16} {
+		ix, err := BuildSharded(a, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		// Last write wins: walk the stream backwards and check the first
+		// (i.e. final) assignment of every oriented edge.
+		want := make(map[graph.Edge]int32, a.Len())
+		for i := a.Len() - 1; i >= 0; i-- {
+			if _, seen := want[a.Edges[i]]; !seen {
+				want[a.Edges[i]] = a.Parts[i]
+			}
+		}
+		for e, p := range want {
+			got, ok := ix.Partition(e.Src, e.Dst)
+			if !ok || got != p {
+				t.Fatalf("shards=%d: Partition(%v) = (%d,%v), want (%d,true)", shards, e, got, ok, p)
+			}
+		}
+		if ix.Stats().DistinctEdges != len(want) {
+			t.Errorf("shards=%d: distinct = %d, want %d", shards, ix.Stats().DistinctEdges, len(want))
+		}
+	}
+}
+
+// dedupe reduces an assignment to the distinct-edge view the index
+// serves: one row per oriented edge, last assignment winning.
+func dedupe(a *metrics.Assignment) *metrics.Assignment {
+	last := make(map[graph.Edge]int32, a.Len())
+	for i, e := range a.Edges {
+		last[e] = a.Parts[i]
+	}
+	out := metrics.NewAssignment(a.K, len(last))
+	for e, p := range last {
+		out.Add(e, int(p))
+	}
+	return out
+}
+
+func TestReplicasMatchMetrics(t *testing.T) {
+	a := testAssignment(t, "hdrf", 8)
+	ix, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := dedupe(a).ReplicaSets()
+	if ix.Stats().Vertices != len(sets) {
+		t.Fatalf("vertices = %d, want %d", ix.Stats().Vertices, len(sets))
+	}
+	for v, want := range sets {
+		got := ix.Replicas(v)
+		if !got.Equal(want) {
+			t.Fatalf("Replicas(%d) = %v, want %v", v, got, want)
+		}
+		if ix.ReplicaCount(v) != want.Count() {
+			t.Fatalf("ReplicaCount(%d) = %d, want %d", v, ix.ReplicaCount(v), want.Count())
+		}
+	}
+	s := metrics.Summarize(dedupe(a))
+	if ix.Stats().Replicas != s.Replicas {
+		t.Errorf("replicas = %d, want %d", ix.Stats().Replicas, s.Replicas)
+	}
+	if got, want := ix.Stats().ReplicationDegree, s.ReplicationDegree; got != want {
+		t.Errorf("replication degree = %v, want %v", got, want)
+	}
+}
+
+func TestPartitionReversedOrientation(t *testing.T) {
+	a := metrics.NewAssignment(4, 2)
+	a.Add(graph.Edge{Src: 1, Dst: 2}, 3)
+	a.Add(graph.Edge{Src: 5, Dst: 5}, 0) // self-loop
+	ix, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := ix.Partition(2, 1); !ok || p != 3 {
+		t.Errorf("Partition(2,1) = (%d,%v), want (3,true) via reversed orientation", p, ok)
+	}
+	if p, ok := ix.Partition(5, 5); !ok || p != 0 {
+		t.Errorf("Partition(5,5) = (%d,%v), want (0,true)", p, ok)
+	}
+	if _, ok := ix.Partition(7, 7); ok {
+		t.Error("Partition(7,7) found an edge that was never assigned")
+	}
+	if _, ok := ix.Partition(1, 5); ok {
+		t.Error("Partition(1,5) found an edge that was never assigned")
+	}
+}
+
+func TestDuplicateEdgeLastWriteWins(t *testing.T) {
+	a := metrics.NewAssignment(4, 3)
+	a.Add(graph.Edge{Src: 0, Dst: 1}, 0)
+	a.Add(graph.Edge{Src: 2, Dst: 3}, 1)
+	a.Add(graph.Edge{Src: 0, Dst: 1}, 2) // re-assignment of the first edge
+	ix, err := BuildSharded(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := ix.Partition(0, 1); p != 2 {
+		t.Errorf("Partition(0,1) = %d, want 2 (last write wins)", p)
+	}
+	st := ix.Stats()
+	if st.DistinctEdges != 2 || st.Rows != 3 {
+		t.Errorf("distinct=%d rows=%d, want 2 and 3", st.DistinctEdges, st.Rows)
+	}
+	if st.Sizes[0] != 0 || st.Sizes[1] != 1 || st.Sizes[2] != 1 {
+		t.Errorf("sizes = %v, want [0 1 1 0]", st.Sizes)
+	}
+	// The replica view follows the final placement: the superseded
+	// assignment of (0,1) to partition 0 leaves no trace.
+	for _, v := range []graph.VertexID{0, 1} {
+		if got := ix.Replicas(v); got.Count() != 1 || !got.Contains(2) {
+			t.Errorf("Replicas(%d) = %v, want {2}", v, got)
+		}
+	}
+	if st.Replicas != 4 || st.ReplicationDegree != 1 {
+		t.Errorf("replicas=%d RF=%v, want 4 and 1 (distinct-edge view)", st.Replicas, st.ReplicationDegree)
+	}
+}
+
+func TestPartitionBatch(t *testing.T) {
+	a := metrics.NewAssignment(4, 2)
+	a.Add(graph.Edge{Src: 0, Dst: 1}, 2)
+	a.Add(graph.Edge{Src: 1, Dst: 2}, 3)
+	ix, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 9, Dst: 9}, {Src: 2, Dst: 1}}
+	got := ix.PartitionBatch(edges, nil)
+	want := []int32{2, -1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PartitionBatch = %v, want %v", got, want)
+		}
+	}
+	// A caller-provided buffer of sufficient capacity is reused.
+	buf := make([]int32, 0, 8)
+	got = ix.PartitionBatch(edges, buf)
+	if &got[0] != &buf[:1][0] {
+		t.Error("PartitionBatch reallocated despite sufficient capacity")
+	}
+}
+
+func TestBuildRejectsInvalidAssignment(t *testing.T) {
+	bad := &metrics.Assignment{K: 2, Edges: []graph.Edge{{Src: 0, Dst: 1}}, Parts: []int32{5}}
+	if _, err := Build(bad); err == nil {
+		t.Error("Build accepted an out-of-range partition id")
+	}
+	a := metrics.NewAssignment(2, 1)
+	a.Add(graph.Edge{Src: 0, Dst: 1}, 1)
+	if _, err := BuildSharded(a, 0); err == nil {
+		t.Error("BuildSharded accepted shard count 0")
+	}
+}
+
+func TestZeroAllocLookups(t *testing.T) {
+	a := testAssignment(t, "dbh", 8)
+	ix, err := BuildSharded(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := a.Edges[len(a.Edges)/2]
+	if allocs := testing.AllocsPerRun(100, func() {
+		ix.Partition(e.Src, e.Dst)
+		ix.Replicas(e.Src)
+		ix.ReplicaCount(e.Dst)
+	}); allocs != 0 {
+		t.Errorf("single lookups allocate %v times per run, want 0", allocs)
+	}
+	edges := a.Edges[:256]
+	dst := make([]int32, 0, len(edges))
+	if allocs := testing.AllocsPerRun(100, func() {
+		dst = ix.PartitionBatch(edges, dst)
+	}); allocs != 0 {
+		t.Errorf("PartitionBatch allocates %v times per run, want 0", allocs)
+	}
+}

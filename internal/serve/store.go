@@ -1,0 +1,43 @@
+package serve
+
+import "sync/atomic"
+
+// Store holds the live index behind an atomic pointer so a freshly
+// computed assignment can replace it without blocking in-flight lookups:
+// readers grab a view once per request and keep using it even while a
+// swap lands; the old index stays valid until its last reader drops it.
+type Store struct {
+	idx atomic.Pointer[Index]
+	gen atomic.Uint64 // completed swaps; 0 until the first index lands
+}
+
+// NewStore returns a store serving idx. A nil idx creates an empty store
+// (View returns nil until the first Swap).
+func NewStore(idx *Index) *Store {
+	s := &Store{}
+	if idx != nil {
+		s.Swap(idx)
+	}
+	return s
+}
+
+// View returns the current index, or nil if none has been installed.
+// Callers must resolve all lookups of one logical operation against the
+// same view; re-calling View mid-operation may observe a newer index.
+func (s *Store) View() *Index { return s.idx.Load() }
+
+// Swap atomically installs idx as the live index and returns the previous
+// one (nil on the first install). It panics on a nil idx: clearing a
+// serving store is not a supported transition — swap in a replacement.
+func (s *Store) Swap(idx *Index) *Index {
+	if idx == nil {
+		panic("serve: Swap(nil)")
+	}
+	old := s.idx.Swap(idx)
+	s.gen.Add(1)
+	return old
+}
+
+// Generation returns the number of completed swaps — an observability
+// counter for telling reloads apart; zero means the store is empty.
+func (s *Store) Generation() uint64 { return s.gen.Load() }

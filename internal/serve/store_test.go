@@ -1,0 +1,117 @@
+package serve
+
+import (
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/metrics"
+)
+
+func TestStoreEmptyThenSwap(t *testing.T) {
+	s := NewStore(nil)
+	if s.View() != nil {
+		t.Fatal("empty store returned a view")
+	}
+	if s.Generation() != 0 {
+		t.Fatalf("Generation = %d, want 0", s.Generation())
+	}
+	a := metrics.NewAssignment(2, 1)
+	a.Add(graph.Edge{Src: 0, Dst: 1}, 1)
+	ix, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old := s.Swap(ix); old != nil {
+		t.Fatal("first Swap returned a previous index")
+	}
+	if s.View() != ix || s.Generation() != 1 {
+		t.Fatalf("View/Generation after swap = %p/%d, want %p/1", s.View(), s.Generation(), ix)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Swap(nil) did not panic")
+		}
+	}()
+	s.Swap(nil)
+}
+
+// TestSwapUnderConcurrentReaders hammers the store with lookups while the
+// index is repeatedly hot-swapped between two assignments of different k.
+// Every reader must observe a view that is internally consistent with
+// exactly one of the two indices — run under -race, this is the
+// concurrency contract of the serving layer.
+func TestSwapUnderConcurrentReaders(t *testing.T) {
+	a1 := testAssignment(t, "dbh", 4)
+	a2 := testAssignment(t, "hdrf", 8)
+	ix1, err := Build(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Build(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewStore(ix1)
+	var stop atomic.Bool
+	var lookups atomic.Int64
+	probe := a1.Edges[:512]
+
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]int32, 0, len(probe))
+			for !stop.Load() {
+				ix := s.View()
+				k := ix.K()
+				if k != 4 && k != 8 {
+					t.Errorf("view has k=%d, want 4 or 8", k)
+					return
+				}
+				for _, e := range probe {
+					if p, ok := ix.Partition(e.Src, e.Dst); ok && int(p) >= k {
+						t.Errorf("partition %d out of range for k=%d view", p, k)
+						return
+					}
+					ix.ReplicaCount(e.Src)
+				}
+				dst = ix.PartitionBatch(probe, dst)
+				lookups.Add(int64(len(dst)))
+			}
+		}()
+	}
+
+	// Keep swapping until the readers have demonstrably made progress
+	// through several views, so lookups and swaps genuinely overlap. The
+	// swapper yields between swaps: on GOMAXPROCS=1 it would otherwise
+	// starve the readers indefinitely.
+	swaps := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for lookups.Load() < 20_000 {
+		if time.Now().After(deadline) {
+			t.Fatalf("readers made no progress: %d lookups after %d swaps", lookups.Load(), swaps)
+		}
+		if swaps%2 == 0 {
+			s.Swap(ix2)
+		} else {
+			s.Swap(ix1)
+		}
+		swaps++
+		goruntime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if got := s.Generation(); got != uint64(swaps)+1 {
+		t.Errorf("Generation = %d, want %d", got, swaps+1)
+	}
+	if lookups.Load() == 0 {
+		t.Error("readers completed no lookups during the swap storm")
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"github.com/adwise-go/adwise/internal/bitset"
 	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/hashx"
 )
 
 // minSlots is the initial table size. Power of two so the probe sequence
@@ -67,18 +68,9 @@ func New(k int) *Cache {
 // K returns the partition count.
 func (c *Cache) K() int { return c.k }
 
-// splitmix64 is the SplitMix64 finaliser; vertex ids are dense small
-// integers, so they need real mixing before masking to a slot.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
 // find returns v's slot, or -1 if v has never been assigned.
 func (c *Cache) find(v graph.VertexID) int {
-	i := splitmix64(uint64(v)) & c.mask
+	i := hashx.SplitMix64(uint64(v)) & c.mask
 	for {
 		if c.degrees[i] == 0 {
 			return -1
@@ -94,13 +86,13 @@ func (c *Cache) find(v graph.VertexID) int {
 // table doubles only when an actual insertion would push the load factor
 // past 3/4 — assignments among already-known vertices never grow.
 func (c *Cache) bump(v graph.VertexID) int {
-	i := splitmix64(uint64(v)) & c.mask
+	i := hashx.SplitMix64(uint64(v)) & c.mask
 	for {
 		d := c.degrees[i]
 		if d == 0 {
 			if uint64(c.live+1)*4 > (c.mask+1)*3 {
 				c.grow()
-				i = splitmix64(uint64(v)) & c.mask
+				i = hashx.SplitMix64(uint64(v)) & c.mask
 				continue // re-probe in the grown table
 			}
 			c.keys[i] = v
@@ -137,7 +129,7 @@ func (c *Cache) grow() {
 		if d == 0 {
 			continue
 		}
-		i := splitmix64(uint64(oldKeys[s])) & c.mask
+		i := hashx.SplitMix64(uint64(oldKeys[s])) & c.mask
 		for c.degrees[i] != 0 {
 			i = (i + 1) & c.mask
 		}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/adwise-go/adwise/internal/bitset"
 	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/hashx"
 )
 
 // mapCache reproduces the seed implementation — map[VertexID]*entry with
@@ -71,9 +72,9 @@ func benchEdges(n int) []graph.Edge {
 	edges := make([]graph.Edge, n)
 	x := uint64(0x12345)
 	for i := range edges {
-		x = splitmix64(x)
+		x = hashx.SplitMix64(x)
 		src := graph.VertexID(x % uint64(n/8+1))
-		x = splitmix64(x)
+		x = hashx.SplitMix64(x)
 		dst := graph.VertexID(x % uint64(n/2+1))
 		edges[i] = graph.Edge{Src: src, Dst: dst}
 	}
