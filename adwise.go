@@ -141,8 +141,10 @@ func NewHDRF(cfg BaselineConfig, lambda float64) (StreamingPartitioner, error) {
 // partition decision per arriving edge.
 type StreamingPartitioner = partition.Partitioner
 
-// RunBaseline drains s through a single-edge partitioner.
-func RunBaseline(s Stream, p StreamingPartitioner) *Assignment {
+// RunBaseline drains s through a single-edge partitioner. A stream that
+// fails mid-pass (see StreamErr) returns the error, never a silently-short
+// assignment.
+func RunBaseline(s Stream, p StreamingPartitioner) (*Assignment, error) {
 	return partition.Run(s, p)
 }
 
@@ -201,6 +203,19 @@ func StreamEdges(edges []Edge) Stream { return stream.FromEdges(edges) }
 // returned closer must be closed by the caller.
 func StreamFile(path string) (*stream.File, error) { return stream.OpenFile(path) }
 
+// StreamErr returns the pending error of a stream that can fail mid-pass
+// (file and segment streams), or nil for streams that cannot fail or have
+// not failed. Stream exhaustion with a pending error is a failure, never a
+// short success; every run path in this package checks it, so callers only
+// need StreamErr when driving a stream by hand.
+func StreamErr(s Stream) error { return stream.Err(s) }
+
+// IsBinaryGraphFile reports whether path is a binary (ADWB) edge-list
+// file. Binary files load via LoadGraph; text files can additionally be
+// streamed (StreamFile) or segment-partitioned (PartitionFileSpotlight)
+// without materialising the edge list.
+func IsBinaryGraphFile(path string) (bool, error) { return graph.IsBinary(path) }
+
 // Shuffle returns a seeded pseudo-random permutation of edges.
 func Shuffle(edges []Edge, seed uint64) []Edge { return stream.Shuffled(edges, seed) }
 
@@ -251,6 +266,24 @@ func RunSpotlight(edges []Edge, cfg SpotlightConfig, build func(i int, allowed [
 // the named strategy, each restricted to its spotlight spread.
 func RunStrategySpotlight(name string, edges []Edge, cfg SpotlightConfig, spec StrategySpec) (*Assignment, error) {
 	return runtime.RunStrategySpotlight(name, edges, cfg, spec)
+}
+
+// RunSpotlightStreams partitions Z edge streams with Z parallel instances
+// built by build — the general executor behind both loading models: in-
+// memory chunks (RunSpotlight) and disjoint file byte ranges
+// (PartitionFileSpotlight).
+func RunSpotlightStreams(streams []Stream, cfg SpotlightConfig, build func(i int, allowed []int) (Runner, error)) (*Assignment, error) {
+	return runtime.RunSpotlightStreams(streams, cfg, build)
+}
+
+// PartitionFileSpotlight partitions a text edge-list file with Z
+// registry-built instances of the named strategy, each streaming a
+// disjoint byte range of the file (the paper's Figure 3 deployment). With
+// streaming strategies the edge list is never materialised, so the file
+// may be far larger than memory; the all-edge "ne" strategy still
+// collects each instance's segment.
+func PartitionFileSpotlight(name, path string, cfg SpotlightConfig, spec StrategySpec) (*Assignment, error) {
+	return runtime.RunStrategySpotlightFile(name, path, cfg, spec)
 }
 
 // AsRunner adapts a single-edge partitioner to a spotlight Runner.

@@ -47,7 +47,10 @@ func TestPublicBaselines(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		a := adwise.RunBaseline(adwise.StreamGraph(g), p)
+		a, err := adwise.RunBaseline(adwise.StreamGraph(g), p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		if a.Len() != g.E() {
 			t.Errorf("%s: assigned %d of %d", name, a.Len(), g.E())
 		}
@@ -161,7 +164,10 @@ func TestPublicEngineWorkloads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := adwise.RunBaseline(adwise.StreamGraph(g), p)
+	a, err := adwise.RunBaseline(adwise.StreamGraph(g), p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	eng, err := adwise.NewEngine(a, g.NumV, adwise.DefaultCostModel(), 2)
 	if err != nil {
 		t.Fatal(err)

@@ -210,7 +210,10 @@ func BenchmarkEnginePageRank(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	a := adwise.RunBaseline(adwise.StreamEdges(adwise.Interleave(g.Edges, 64)), p)
+	a, err := adwise.RunBaseline(adwise.StreamEdges(adwise.Interleave(g.Edges, 64)), p)
+	if err != nil {
+		b.Fatal(err)
+	}
 	eng, err := adwise.NewEngine(a, g.NumV, adwise.BenchCostModel(), 0)
 	if err != nil {
 		b.Fatal(err)

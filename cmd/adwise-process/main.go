@@ -83,7 +83,9 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			a = adwise.RunBaseline(adwise.StreamGraph(g), p)
+			if a, err = adwise.RunBaseline(adwise.StreamGraph(g), p); err != nil {
+				return err
+			}
 		}
 		partLat = time.Since(start)
 	}

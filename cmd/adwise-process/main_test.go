@@ -49,7 +49,10 @@ func TestRunWithPrecomputedAssignment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := adwise.RunBaseline(adwise.StreamGraph(g), p)
+	a, err := adwise.RunBaseline(adwise.StreamGraph(g), p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	parts := filepath.Join(t.TempDir(), "parts.tsv")
 	if err := adwise.SaveAssignment(parts, a); err != nil {
 		t.Fatal(err)
@@ -64,7 +67,10 @@ func TestRunErrors(t *testing.T) {
 	other := writeTestGraph(t) // different temp graph for mismatch test
 	g, _ := adwise.LoadGraph(other)
 	p, _ := adwise.NewBaseline(adwise.BaselineHash, adwise.BaselineConfig{K: 2})
-	a := adwise.RunBaseline(adwise.StreamEdges(g.Edges[:10]), p)
+	a, err := adwise.RunBaseline(adwise.StreamEdges(g.Edges[:10]), p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	mismatch := filepath.Join(t.TempDir(), "mismatch.tsv")
 	if err := adwise.SaveAssignment(mismatch, a); err != nil {
 		t.Fatal(err)

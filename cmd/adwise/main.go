@@ -9,7 +9,12 @@
 //	adwise -in graph.txt -k 32 -z 8 -spread 4 -algo adwise -latency 5s
 //
 // With -z > 1 the stream is split into z chunks partitioned in parallel
-// under the spotlight optimization with the given spread.
+// under the spotlight optimization with the given spread. For text edge
+// lists the z instances stream disjoint byte ranges of the file directly
+// (segmented loading) — streaming strategies never materialise the edge
+// list, so the input may be larger than memory (the all-edge "ne"
+// strategy still collects each instance's segment); binary (.bin) inputs
+// fall back to loading the edge list and chunking it.
 package main
 
 import (
@@ -53,14 +58,8 @@ func run(args []string) error {
 		return fmt.Errorf("-k must be >= 1")
 	}
 
-	g, err := adwise.LoadGraph(*in)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("loaded %s: %d vertices, %d edges\n", *in, g.V(), g.E())
-
 	start := time.Now()
-	a, err := partitionGraph(g, *algo, *k, *z, *spread, *seed, *latency, *window)
+	a, err := partitionInput(*in, *algo, *k, *z, *spread, *seed, *latency, *window)
 	if err != nil {
 		return err
 	}
@@ -90,18 +89,45 @@ func run(args []string) error {
 	return nil
 }
 
-func partitionGraph(g *adwise.Graph, algo string, k, z, spread int, seed uint64, latency time.Duration, window int) (*adwise.Assignment, error) {
+func partitionInput(in, algo string, k, z, spread int, seed uint64, latency time.Duration, window int) (*adwise.Assignment, error) {
 	spec := adwise.StrategySpec{K: k, Seed: seed, Latency: latency, Window: window}
-	if z <= 1 {
-		s, err := adwise.NewStrategy(algo, spec)
+	if z > 1 {
+		if spread == 0 {
+			spread = k / z
+		}
+		cfg := adwise.SpotlightConfig{K: k, Z: z, Spread: spread}
+		bin, err := adwise.IsBinaryGraphFile(in)
 		if err != nil {
 			return nil, err
 		}
-		return s.Run(adwise.StreamGraph(g))
+		if !bin {
+			// Text edge list: feed the z instances from disjoint byte
+			// ranges of the file without materialising the edge list.
+			fmt.Printf("streaming %s: z=%d segmented byte-range loaders, spread=%d\n", in, z, spread)
+			return adwise.PartitionFileSpotlight(algo, in, cfg, spec)
+		}
+		g, err := loadAndReport(in)
+		if err != nil {
+			return nil, err
+		}
+		return adwise.RunStrategySpotlight(algo, g.Edges, cfg, spec)
 	}
-	if spread == 0 {
-		spread = k / z
+	g, err := loadAndReport(in)
+	if err != nil {
+		return nil, err
 	}
-	cfg := adwise.SpotlightConfig{K: k, Z: z, Spread: spread}
-	return adwise.RunStrategySpotlight(algo, g.Edges, cfg, spec)
+	s, err := adwise.NewStrategy(algo, spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(adwise.StreamGraph(g))
+}
+
+func loadAndReport(in string) (*adwise.Graph, error) {
+	g, err := adwise.LoadGraph(in)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("loaded %s: %d vertices, %d edges\n", in, g.V(), g.E())
+	return g, nil
 }

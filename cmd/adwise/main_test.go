@@ -40,6 +40,54 @@ func TestRunSpotlightMode(t *testing.T) {
 	}
 }
 
+func TestRunSpotlightSegmentedAssignsEveryEdge(t *testing.T) {
+	// -z on a text file goes through the segmented byte-range loaders; the
+	// written assignment must still cover the whole graph.
+	path := writeTestGraph(t)
+	out := filepath.Join(t.TempDir(), "parts.tsv")
+	if err := run([]string{"-in", path, "-k", "8", "-z", "4", "-algo", "hdrf", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := adwise.LoadAssignment(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := adwise.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != g.E() {
+		t.Errorf("segmented spotlight assigned %d of %d edges", a.Len(), g.E())
+	}
+}
+
+func TestRunSpotlightBinaryFallsBackToMaterialised(t *testing.T) {
+	// Binary inputs cannot be segment-planned; -z must still work by
+	// loading the edge list and chunking it.
+	g, err := adwise.Community(10, 8, 0.9, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := adwise.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-k", "8", "-z", "4", "-algo", "hdrf"}); err != nil {
+		t.Errorf("binary spotlight run: %v", err)
+	}
+}
+
+func TestRunSegmentedRejectsMalformedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	content := "0 1\n1 2\nbroken line x y\n2 3\n3 4\n4 5\n5 6\n6 7\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-k", "8", "-z", "4", "-algo", "hdrf"}); err == nil {
+		t.Error("malformed mid-file line did not fail the segmented run")
+	}
+}
+
 func TestRunWritesAssignment(t *testing.T) {
 	path := writeTestGraph(t)
 	out := filepath.Join(t.TempDir(), "parts.tsv")

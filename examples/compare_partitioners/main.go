@@ -37,7 +37,10 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		a := adwise.RunBaseline(adwise.StreamEdges(edges), p)
+		a, err := adwise.RunBaseline(adwise.StreamEdges(edges), p)
+		if err != nil {
+			log.Fatal(err)
+		}
 		report(string(b), "single-edge", a, time.Since(start))
 	}
 

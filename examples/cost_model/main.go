@@ -28,7 +28,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	partitionings["hash"] = adwise.RunBaseline(adwise.StreamEdges(edges), h)
+	ha, err := adwise.RunBaseline(adwise.StreamEdges(edges), h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	partitionings["hash"] = ha
 	p, err := adwise.NewADWISE(k, adwise.WithInitialWindow(256), adwise.WithFixedWindow())
 	if err != nil {
 		log.Fatal(err)

@@ -46,7 +46,10 @@ func main() {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	ha := adwise.RunBaseline(adwise.StreamEdges(edges), h)
+	ha, err := adwise.RunBaseline(adwise.StreamEdges(edges), h)
+	if err != nil {
+		log.Fatal(err)
+	}
 	hdrfLat := time.Since(start)
 	run("hdrf", ha, hdrfLat)
 

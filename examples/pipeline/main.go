@@ -49,12 +49,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Run fails loudly if the file stream errors mid-pass (malformed line,
+	// I/O failure): stream exhaustion with a pending error is never a
+	// short success, so no separate fs.Err() check is needed.
 	a, err := p.Run(fs)
 	if err != nil {
 		return err
-	}
-	if err := fs.Err(); err != nil {
-		return fmt.Errorf("streaming %s: %w", path, err)
 	}
 	s := adwise.Summarize(a)
 	fmt.Printf("partitioned: RF=%.3f imbalance=%.3f (window peaked at %d)\n",

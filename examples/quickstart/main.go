@@ -48,6 +48,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := adwise.Summarize(adwise.RunBaseline(adwise.StreamEdges(edges), h))
+	ha, err := adwise.RunBaseline(adwise.StreamEdges(edges), h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := adwise.Summarize(ha)
 	fmt.Printf("HDRF replication degree for comparison: %.3f\n", hs.ReplicationDegree)
 }

@@ -188,6 +188,19 @@ func TestAblationsRun(t *testing.T) {
 	}
 }
 
+func TestIngestStructure(t *testing.T) {
+	tab, err := Ingest(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("Ingest rows = %d, want 2 (materialised, segmented)", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "materialised" || tab.Rows[1][0] != "segmented" {
+		t.Errorf("unexpected row labels: %v / %v", tab.Rows[0][0], tab.Rows[1][0])
+	}
+}
+
 func TestWorkloadExperimentsRunTiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("workload experiments are slow")

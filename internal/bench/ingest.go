@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	gort "runtime"
+	"time"
+
+	"github.com/adwise-go/adwise/internal/gen"
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/runtime"
+)
+
+// Ingest compares the two ways of feeding the Z spotlight instances from a
+// graph file (§III-D, Figure 3): materialise the edge list and chunk it
+// (graph.LoadFile + RunStrategySpotlight) versus streaming disjoint byte
+// ranges of the file (RunStrategySpotlightFile). Both paths partition the
+// same Web-like graph with the same strategy; the table reports wall time
+// and bytes allocated, the memory win being the point of segmented
+// loading.
+func Ingest(cfg Config) (*Table, error) {
+	g, err := gen.PresetWeb.Generate(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: generating web graph: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "adwise-ingest")
+	if err != nil {
+		return nil, fmt.Errorf("bench: temp dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "web.txt")
+	if err := graph.SaveFile(path, g); err != nil {
+		return nil, err
+	}
+	edges := g.E()
+	g = nil // the ingest paths must start from the file, not this copy
+
+	scfg := cfg.spotlightConfig()
+	spec := runtime.Spec{K: cfg.K, Seed: cfg.Seed}
+	strategy := "hdrf"
+
+	type result struct {
+		label   string
+		latency time.Duration
+		allocMB float64
+		rf      float64
+	}
+	measure := func(label string, run func() (*metrics.Assignment, error)) (result, error) {
+		var before, after gort.MemStats
+		gort.GC()
+		gort.ReadMemStats(&before)
+		start := time.Now()
+		a, err := run()
+		lat := time.Since(start)
+		if err != nil {
+			return result{}, fmt.Errorf("bench: ingest %s: %w", label, err)
+		}
+		gort.ReadMemStats(&after)
+		if a.Len() != edges {
+			return result{}, fmt.Errorf("bench: ingest %s assigned %d of %d edges", label, a.Len(), edges)
+		}
+		return result{
+			label:   label,
+			latency: lat,
+			allocMB: float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+			rf:      metrics.Summarize(a).ReplicationDegree,
+		}, nil
+	}
+
+	materialised, err := measure("materialised", func() (*metrics.Assignment, error) {
+		loaded, err := graph.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return runtime.RunStrategySpotlight(strategy, loaded.Edges, scfg, spec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg.progressf("  ingest materialised: %v, %.1f MB allocated", materialised.latency, materialised.allocMB)
+
+	segmented, err := measure("segmented", func() (*metrics.Assignment, error) {
+		return runtime.RunStrategySpotlightFile(strategy, path, scfg, spec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg.progressf("  ingest segmented: %v, %.1f MB allocated", segmented.latency, segmented.allocMB)
+
+	tab := &Table{
+		ID:      "Ingest",
+		Title:   fmt.Sprintf("file ingest, %s, %d edges, z=%d loaders", strategy, edges, scfg.Z),
+		Columns: []string{"loading", "latency", "alloc MB", "RF"},
+		Notes: []string{
+			"materialised = LoadFile + chunked RunStrategySpotlight; segmented = byte-range RunStrategySpotlightFile",
+			"segmented loading never holds the full edge slice: its memory is a fixed ~1 MiB scanner buffer per loader",
+			"plus the vertex caches — constant in the edge count, so the win over materialising grows with the file",
+		},
+	}
+	for _, r := range []result{materialised, segmented} {
+		tab.AddRow(r.label, r.latency, fmt.Sprintf("%.1f", r.allocMB), r.rf)
+	}
+	return tab, nil
+}

@@ -36,6 +36,7 @@ func Experiments() []Experiment {
 		{"ablation-clustering", "DESIGN §5.3", AblationClustering},
 		{"ablation-window", "DESIGN §5.4", AblationWindow},
 		{"ablation-order", "DESIGN §3", AblationOrder},
+		{"ingest", "§III-D loading", Ingest},
 	}
 }
 

@@ -353,6 +353,13 @@ func (a *Adwise) Run(s stream.Stream) (*metrics.Assignment, error) {
 		refill()
 	}
 
+	// The window drains when the stream stops delivering — which is either
+	// clean exhaustion or a mid-stream failure. Treating the latter as
+	// success would silently partition a prefix of the graph.
+	if err := src.Err(); err != nil {
+		return nil, fmt.Errorf("core: edge stream failed after %d assignments: %w", a.stats.Assignments, err)
+	}
+
 	a.stats.FinalWindow = w
 	a.stats.PartitioningLatency = a.cfg.clk.Now().Sub(start)
 	a.stats.ScoreComputations = a.scorer.scoreOps

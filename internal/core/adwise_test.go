@@ -1,6 +1,8 @@
 package core
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -183,7 +185,11 @@ func TestBeatsHDRFOnClusteredGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rfHDRF := metrics.Summarize(partition.Run(stream.FromEdges(edges), h)).ReplicationDegree
+	ha, err := partition.Run(stream.FromEdges(edges), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfHDRF := metrics.Summarize(ha).ReplicationDegree
 
 	ad, err := New(8, WithInitialWindow(256), WithFixedWindow())
 	if err != nil {
@@ -479,5 +485,26 @@ func TestSelfLoopStream(t *testing.T) {
 	}
 	if a.Len() != 3 {
 		t.Errorf("assigned %d of 3 edges with self-loops", a.Len())
+	}
+}
+
+func TestRunReturnsStreamError(t *testing.T) {
+	// A file stream that fails mid-pass (malformed line) must fail Run:
+	// stream exhaustion with a pending error is never a short success.
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\nbroken\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := stream.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	ad, err := New(4, WithInitialWindow(2), WithFixedWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, err := ad.Run(fs); err == nil {
+		t.Fatalf("Run on failing stream returned %d edges and no error", a.Len())
 	}
 }

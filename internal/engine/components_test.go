@@ -165,7 +165,10 @@ func TestStepCostMachineAggregation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := partition.Run(stream.FromGraph(g), h)
+	a, err := partition.Run(stream.FromGraph(g), h)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cost := CostModel{
 		PerEdge:      time.Microsecond,
 		PerVertex:    0,
@@ -207,7 +210,10 @@ func TestMasterPlacementSpread(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := partition.Run(stream.FromGraph(g), h)
+	a, err := partition.Run(stream.FromGraph(g), h)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e, err := New(a, g.NumV, DefaultCostModel(), 0)
 	if err != nil {
 		t.Fatal(err)

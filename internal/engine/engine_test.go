@@ -19,7 +19,11 @@ func hashAssign(t *testing.T, g *graph.Graph, k int) *metrics.Assignment {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return partition.Run(stream.FromGraph(g), h)
+	a, err := partition.Run(stream.FromGraph(g), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
 }
 
 func newEngine(t *testing.T, g *graph.Graph, k int) *Engine {
@@ -175,7 +179,10 @@ func TestBetterPartitioningLowersSimulatedLatency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	greedyA := partition.Run(stream.FromGraph(g), gr)
+	greedyA, err := partition.Run(stream.FromGraph(g), gr)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	rfHash := metrics.Summarize(hashA).ReplicationDegree
 	rfGreedy := metrics.Summarize(greedyA).ReplicationDegree

@@ -153,23 +153,46 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	return &Graph{NumV: int(numV), Edges: edges}, nil
 }
 
+// sniffBinary reports whether the open file begins with the binary
+// edge-list magic, leaving the read position at the start of the file.
+func sniffBinary(f *os.File) (bool, error) {
+	magic := make([]byte, len(binaryMagic))
+	n, err := io.ReadFull(f, magic)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return false, fmt.Errorf("graph: sniffing %s: %w", f.Name(), err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return false, fmt.Errorf("graph: rewinding %s: %w", f.Name(), err)
+	}
+	return n == len(binaryMagic) && string(magic) == binaryMagic, nil
+}
+
+// IsBinary reports whether path begins with the binary edge-list magic —
+// the format sniff callers need before choosing a loading path that only
+// works on text edge lists (e.g. segmented byte-range streaming).
+func IsBinary(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("graph: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return sniffBinary(f)
+}
+
 // LoadFile loads a graph from path, choosing the format by sniffing the
-// binary magic and falling back to the text parser.
+// binary magic and falling back to the text parser. One handle serves both
+// sniff and parse, so the decision cannot race a concurrent file swap.
 func LoadFile(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("graph: opening %s: %w", path, err)
 	}
 	defer f.Close()
-	magic := make([]byte, len(binaryMagic))
-	n, err := io.ReadFull(f, magic)
-	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
-		return nil, fmt.Errorf("graph: sniffing %s: %w", path, err)
+	bin, err := sniffBinary(f)
+	if err != nil {
+		return nil, err
 	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, fmt.Errorf("graph: rewinding %s: %w", path, err)
-	}
-	if n == len(binaryMagic) && string(magic) == binaryMagic {
+	if bin {
 		return ReadBinary(f)
 	}
 	return ReadEdgeListText(f)

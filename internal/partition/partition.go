@@ -71,8 +71,10 @@ func (c Config) allowed() []int {
 
 // Run drains s through p and returns the resulting assignment. Edges are
 // drawn in batches (stream.NextBatch) so the per-edge cost is one Assign
-// call, not an extra interface dispatch into the stream.
-func Run(s stream.Stream, p Partitioner) *metrics.Assignment {
+// call, not an extra interface dispatch into the stream. A stream that
+// fails mid-pass (stream.Err) returns the error, never a silently-short
+// assignment.
+func Run(s stream.Stream, p Partitioner) (*metrics.Assignment, error) {
 	hint := s.Remaining()
 	if hint < 0 {
 		hint = 1024
@@ -82,7 +84,10 @@ func Run(s stream.Stream, p Partitioner) *metrics.Assignment {
 	for {
 		n := stream.NextBatch(s, buf[:])
 		if n == 0 {
-			return a
+			if err := stream.Err(s); err != nil {
+				return nil, fmt.Errorf("partition: edge stream failed after %d assignments: %w", a.Len(), err)
+			}
+			return a, nil
 		}
 		for _, e := range buf[:n] {
 			a.Add(e, p.Assign(e))

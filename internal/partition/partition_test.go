@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 	"testing/quick"
 
@@ -45,6 +47,16 @@ func allPartitioners(t *testing.T, cfg Config) []Partitioner {
 	return []Partitioner{hash, oneD, twoD, dbh, greedy, hdrf, grid}
 }
 
+// mustRun drains s through p, failing the test on a stream error.
+func mustRun(t *testing.T, s stream.Stream, p Partitioner) *metrics.Assignment {
+	t.Helper()
+	a, err := Run(s, p)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	return a
+}
+
 func testGraph(t *testing.T) *graph.Graph {
 	t.Helper()
 	g, err := gen.HolmeKim(400, 4, 0.5, 11)
@@ -69,7 +81,7 @@ func TestConfigValidation(t *testing.T) {
 func TestEveryStrategyAssignsEveryEdgeInRange(t *testing.T) {
 	g := testGraph(t)
 	for _, p := range allPartitioners(t, Config{K: 8, Seed: 3}) {
-		a := Run(stream.FromGraph(g), p)
+		a := mustRun(t, stream.FromGraph(g), p)
 		if a.Len() != g.E() {
 			t.Errorf("%s: assigned %d of %d edges", p.Name(), a.Len(), g.E())
 		}
@@ -88,7 +100,7 @@ func TestCacheMatchesAssignment(t *testing.T) {
 	// invariant of the streaming model.
 	g := testGraph(t)
 	for _, p := range allPartitioners(t, Config{K: 8, Seed: 3}) {
-		a := Run(stream.FromGraph(g), p)
+		a := mustRun(t, stream.FromGraph(g), p)
 		s := metrics.Summarize(a)
 		if got := p.Cache().ReplicationDegree(); !closeTo(got, s.ReplicationDegree, 1e-9) {
 			t.Errorf("%s: cache RF %v != recomputed RF %v", p.Name(), got, s.ReplicationDegree)
@@ -111,7 +123,7 @@ func TestAllowedPartitionsRespected(t *testing.T) {
 	allowed := []int{2, 5, 7}
 	allowedSet := map[int32]bool{2: true, 5: true, 7: true}
 	for _, p := range allPartitioners(t, Config{K: 8, Allowed: allowed, Seed: 1}) {
-		a := Run(stream.FromGraph(g), p)
+		a := mustRun(t, stream.FromGraph(g), p)
 		for i, part := range a.Parts {
 			if !allowedSet[part] {
 				t.Errorf("%s: edge %d assigned to %d outside spread %v", p.Name(), i, part, allowed)
@@ -127,8 +139,8 @@ func TestDeterminism(t *testing.T) {
 		first := allPartitioners(t, Config{K: 8, Seed: 42})
 		second := allPartitioners(t, Config{K: 8, Seed: 42})
 		for j := range first {
-			a := Run(stream.FromGraph(g), first[j])
-			b := Run(stream.FromGraph(g), second[j])
+			a := mustRun(t, stream.FromGraph(g), first[j])
+			b := mustRun(t, stream.FromGraph(g), second[j])
 			for idx := range a.Parts {
 				if a.Parts[idx] != b.Parts[idx] {
 					t.Errorf("%s: run not deterministic at edge %d", first[j].Name(), idx)
@@ -143,8 +155,8 @@ func TestHashSeedChangesAssignment(t *testing.T) {
 	g := testGraph(t)
 	h1, _ := NewHash(Config{K: 8, Seed: 1})
 	h2, _ := NewHash(Config{K: 8, Seed: 2})
-	a := Run(stream.FromGraph(g), h1)
-	b := Run(stream.FromGraph(g), h2)
+	a := mustRun(t, stream.FromGraph(g), h1)
+	b := mustRun(t, stream.FromGraph(g), h2)
 	same := true
 	for i := range a.Parts {
 		if a.Parts[i] != b.Parts[i] {
@@ -160,7 +172,7 @@ func TestHashSeedChangesAssignment(t *testing.T) {
 func TestOneDimKeepsSourcesTogether(t *testing.T) {
 	g := testGraph(t)
 	o, _ := NewOneDim(Config{K: 8})
-	a := Run(stream.FromGraph(g), o)
+	a := mustRun(t, stream.FromGraph(g), o)
 	bySrc := make(map[graph.VertexID]int32)
 	for i, e := range a.Edges {
 		if prev, ok := bySrc[e.Src]; ok && prev != a.Parts[i] {
@@ -173,7 +185,7 @@ func TestOneDimKeepsSourcesTogether(t *testing.T) {
 func TestTwoDimBoundsReplicas(t *testing.T) {
 	g := testGraph(t)
 	td, _ := NewTwoDim(Config{K: 16})
-	a := Run(stream.FromGraph(g), td)
+	a := mustRun(t, stream.FromGraph(g), td)
 	r, c := gridShape(16)
 	bound := r + c // a vertex appears in one row (c cells) or one column (r cells) at most... row+col is a safe bound
 	for v, set := range a.ReplicaSets() {
@@ -202,7 +214,7 @@ func TestGridConstraintBound(t *testing.T) {
 	// Grid bounds replicas by row+col-1 cells.
 	g := testGraph(t)
 	gr, _ := NewGrid(Config{K: 16})
-	a := Run(stream.FromGraph(g), gr)
+	a := mustRun(t, stream.FromGraph(g), gr)
 	for v, set := range a.ReplicaSets() {
 		if set.Count() > 7 { // 4+4-1
 			t.Errorf("vertex %d has %d replicas, grid bound is 7", v, set.Count())
@@ -219,7 +231,7 @@ func TestDBHCutsHighDegreeVertex(t *testing.T) {
 		t.Fatal(err)
 	}
 	d, _ := NewDBH(Config{K: 8, Seed: 5})
-	a := Run(stream.FromGraph(star), d)
+	a := mustRun(t, stream.FromGraph(star), d)
 	sets := a.ReplicaSets()
 	if hub := sets[0].Count(); hub != 8 {
 		t.Errorf("hub replicas = %d, want 8 (replicated everywhere)", hub)
@@ -245,7 +257,7 @@ func TestGreedyKeepsPathLocal(t *testing.T) {
 		t.Fatal(err)
 	}
 	gr, _ := NewGreedy(Config{K: 4})
-	a := Run(stream.FromGraph(path), gr)
+	a := mustRun(t, stream.FromGraph(path), gr)
 	s := metrics.Summarize(a)
 	if s.ReplicationDegree > 1.01 {
 		t.Errorf("greedy RF on path = %v, want <= 1.01", s.ReplicationDegree)
@@ -260,8 +272,8 @@ func TestGreedyBeatsHashOnClusteredGraph(t *testing.T) {
 	edges := stream.Shuffled(g.Edges, 1)
 	h, _ := NewHash(Config{K: 8})
 	gr, _ := NewGreedy(Config{K: 8})
-	rfHash := metrics.Summarize(Run(stream.FromEdges(edges), h)).ReplicationDegree
-	rfGreedy := metrics.Summarize(Run(stream.FromEdges(edges), gr)).ReplicationDegree
+	rfHash := metrics.Summarize(mustRun(t, stream.FromEdges(edges), h)).ReplicationDegree
+	rfGreedy := metrics.Summarize(mustRun(t, stream.FromEdges(edges), gr)).ReplicationDegree
 	if rfGreedy >= rfHash {
 		t.Errorf("greedy RF %v not better than hash RF %v", rfGreedy, rfHash)
 	}
@@ -271,13 +283,13 @@ func TestHDRFBalanceAndQuality(t *testing.T) {
 	g := testGraph(t)
 	edges := stream.Shuffled(g.Edges, 2)
 	h, _ := NewHDRF(Config{K: 8}, HDRFDefaultLambda)
-	a := Run(stream.FromEdges(edges), h)
+	a := mustRun(t, stream.FromEdges(edges), h)
 	s := metrics.Summarize(a)
 	if !s.BalanceOK(0.5) {
 		t.Errorf("HDRF imbalance too high: %+v", s)
 	}
 	hash, _ := NewHash(Config{K: 8})
-	rfHash := metrics.Summarize(Run(stream.FromEdges(edges), hash)).ReplicationDegree
+	rfHash := metrics.Summarize(mustRun(t, stream.FromEdges(edges), hash)).ReplicationDegree
 	if s.ReplicationDegree >= rfHash {
 		t.Errorf("HDRF RF %v not better than hash RF %v", s.ReplicationDegree, rfHash)
 	}
@@ -290,8 +302,8 @@ func TestHDRFHighLambdaBalancesHarder(t *testing.T) {
 	g := testGraph(t)
 	loose, _ := NewHDRF(Config{K: 8}, 0.01)
 	tight, _ := NewHDRF(Config{K: 8}, 50)
-	sLoose := metrics.Summarize(Run(stream.FromGraph(g), loose))
-	sTight := metrics.Summarize(Run(stream.FromGraph(g), tight))
+	sLoose := metrics.Summarize(mustRun(t, stream.FromGraph(g), loose))
+	sTight := metrics.Summarize(mustRun(t, stream.FromGraph(g), tight))
 	if sTight.Imbalance > sLoose.Imbalance+1e-9 {
 		t.Errorf("λ=50 imbalance %v worse than λ=0.01 imbalance %v", sTight.Imbalance, sLoose.Imbalance)
 	}
@@ -312,7 +324,7 @@ func TestNEPartition(t *testing.T) {
 	s := metrics.Summarize(a)
 	// NE is the high-quality reference: it must beat hashing comfortably.
 	h, _ := NewHash(Config{K: 8})
-	rfHash := metrics.Summarize(Run(stream.FromGraph(g), h)).ReplicationDegree
+	rfHash := metrics.Summarize(mustRun(t, stream.FromGraph(g), h)).ReplicationDegree
 	if s.ReplicationDegree >= rfHash {
 		t.Errorf("NE RF %v not better than hash RF %v", s.ReplicationDegree, rfHash)
 	}
@@ -328,6 +340,34 @@ func TestNEErrors(t *testing.T) {
 	}
 }
 
+// badFileStream opens a file stream whose third line is malformed, wrapped
+// the way production callers wrap it (buffered).
+func badFileStream(t *testing.T) stream.Stream {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\nbroken\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := stream.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return stream.NewBuffered(fs, 4)
+}
+
+func TestRunReturnsStreamError(t *testing.T) {
+	// A stream failing mid-pass must fail Run — a silently-short
+	// assignment reported as success is the bug this guards against.
+	h, err := NewHDRF(Config{K: 4}, HDRFDefaultLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, err := Run(badFileStream(t), h); err == nil {
+		t.Fatalf("Run on failing stream returned %d edges and no error", a.Len())
+	}
+}
+
 // Property: for any stream prefix and any strategy, partition sizes sum to
 // the number of assigned edges.
 func TestQuickSizesSumToAssigned(t *testing.T) {
@@ -340,8 +380,8 @@ func TestQuickSizesSumToAssigned(t *testing.T) {
 			return false
 		}
 		s := &stream.Limit{Inner: stream.FromGraph(g), Max: int64(limit)}
-		a := Run(s, h)
-		if a.Len() != limit {
+		a, err := Run(s, h)
+		if err != nil || a.Len() != limit {
 			return false
 		}
 		var total int64

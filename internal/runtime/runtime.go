@@ -91,7 +91,10 @@ func (ps *partitionerStrategy) Name() string { return ps.p.Name() }
 
 func (ps *partitionerStrategy) Run(s stream.Stream) (*metrics.Assignment, error) {
 	start := time.Now()
-	a := partition.Run(s, ps.p)
+	a, err := partition.Run(s, ps.p)
+	if err != nil {
+		return nil, err
+	}
 	c := ps.p.Cache()
 	ps.stats = Stats{
 		Assignments:         c.Assigned(),
@@ -148,7 +151,11 @@ func (n *neStrategy) Name() string { return "ne" }
 
 func (n *neStrategy) Run(s stream.Stream) (*metrics.Assignment, error) {
 	start := time.Now()
-	g, err := graph.New(stream.Collect(s))
+	edges, err := stream.Collect(s)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.New(edges)
 	if err != nil {
 		return nil, err
 	}

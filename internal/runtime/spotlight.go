@@ -62,22 +62,23 @@ func (c SpotlightConfig) SpreadFor(i int) []int {
 	return parts
 }
 
-// RunSpotlight partitions edges with Z parallel instances built by
-// build(i, allowed) and merges their assignments in instance order. The
-// edge slice is split into Z near-equal contiguous chunks, mirroring the
-// paper's parallel loading model where each worker machine streams its own
-// chunk of the graph file. Builders typically return a registry-constructed
-// Strategy; any Runner works.
-func RunSpotlight(edges []graph.Edge, cfg SpotlightConfig, build func(i int, allowed []int) (Runner, error)) (*metrics.Assignment, error) {
+// RunSpotlightStreams partitions Z edge streams with Z parallel instances
+// built by build(i, allowed) — instance i consumes streams[i] — and merges
+// their assignments in instance order. It is the general executor behind
+// both loading models of the paper: in-memory chunks (RunSpotlight) and
+// disjoint byte ranges of one graph file (RunStrategySpotlightFile).
+// Builders typically return a registry-constructed Strategy; any Runner
+// works. A stream that fails mid-pass fails the run even if its Runner
+// ignored the stream error contract.
+func RunSpotlightStreams(streams []stream.Stream, cfg SpotlightConfig, build func(i int, allowed []int) (Runner, error)) (*metrics.Assignment, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if len(edges) == 0 {
-		return nil, fmt.Errorf("runtime: spotlight needs a non-empty edge list")
+	if len(streams) != cfg.Z {
+		return nil, fmt.Errorf("runtime: spotlight got %d streams for Z=%d instances", len(streams), cfg.Z)
 	}
-	chunks := stream.Chunks(edges, cfg.Z)
-	runners := make([]Runner, len(chunks))
-	for i := range chunks {
+	runners := make([]Runner, cfg.Z)
+	for i := range runners {
 		r, err := build(i, cfg.SpreadFor(i))
 		if err != nil {
 			return nil, fmt.Errorf("runtime: building spotlight instance %d: %w", i, err)
@@ -85,20 +86,29 @@ func RunSpotlight(edges []graph.Edge, cfg SpotlightConfig, build func(i int, all
 		runners[i] = r
 	}
 
-	results := make([]*metrics.Assignment, len(chunks))
-	errs := make([]error, len(chunks))
+	results := make([]*metrics.Assignment, cfg.Z)
+	errs := make([]error, cfg.Z)
+	runOne := func(i int) {
+		results[i], errs[i] = runners[i].Run(streams[i])
+		if errs[i] == nil {
+			// Exhaustion with a pending stream error is a failure, never a
+			// short success — enforce it here even for Runners that do not
+			// check stream.Err themselves.
+			errs[i] = stream.Err(streams[i])
+		}
+	}
 	if cfg.Sequential {
-		for i, r := range runners {
-			results[i], errs[i] = r.Run(stream.FromEdges(chunks[i]))
+		for i := range runners {
+			runOne(i)
 		}
 	} else {
 		var wg sync.WaitGroup
-		for i, r := range runners {
+		for i := range runners {
 			wg.Add(1)
-			go func(i int, r Runner) {
+			go func(i int) {
 				defer wg.Done()
-				results[i], errs[i] = r.Run(stream.FromEdges(chunks[i]))
-			}(i, r)
+				runOne(i)
+			}(i)
 		}
 		wg.Wait()
 	}
@@ -108,13 +118,38 @@ func RunSpotlight(edges []graph.Edge, cfg SpotlightConfig, build func(i int, all
 		}
 	}
 
-	merged := metrics.NewAssignment(cfg.K, len(edges))
+	total := 0
+	for _, res := range results {
+		total += res.Len()
+	}
+	merged := metrics.NewAssignment(cfg.K, total)
 	for _, res := range results {
 		if err := merged.Merge(res); err != nil {
 			return nil, err
 		}
 	}
 	return merged, nil
+}
+
+// RunSpotlight partitions an in-memory edge slice with Z parallel
+// instances: the slice is split into Z near-equal contiguous chunks
+// (stream.Chunks), mirroring the paper's parallel loading model where each
+// worker machine streams its own chunk of the graph file. Fewer edges than
+// Z is an error — stream.Chunks would silently build fewer runners,
+// leaving the remaining spreads' partitions unreachable with no signal.
+func RunSpotlight(edges []graph.Edge, cfg SpotlightConfig, build func(i int, allowed []int) (Runner, error)) (*metrics.Assignment, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(edges) < cfg.Z {
+		return nil, fmt.Errorf("runtime: spotlight needs at least Z=%d edges so every instance receives a chunk, got %d", cfg.Z, len(edges))
+	}
+	chunks := stream.Chunks(edges, cfg.Z)
+	streams := make([]stream.Stream, len(chunks))
+	for i, ch := range chunks {
+		streams[i] = stream.FromEdges(ch)
+	}
+	return RunSpotlightStreams(streams, cfg, build)
 }
 
 // RunStrategySpotlight is the registry-driven convenience: it partitions
@@ -132,6 +167,54 @@ func RunStrategySpotlight(name string, edges []graph.Edge, cfg SpotlightConfig, 
 		s.Seed = spec.Seed + uint64(i)
 		if s.TotalEdgesHint == 0 {
 			s.TotalEdgesHint = chunkEdges
+		}
+		return New(name, s)
+	})
+}
+
+// RunStrategySpotlightFile partitions the text edge-list file at path with
+// Z registry-built instances of the named strategy, each streaming a
+// disjoint byte range of the file (stream.Plan + stream.OpenSegment) — the
+// paper's Figure 3 deployment, where z loader machines each consume their
+// own chunk of one large graph file. With streaming strategies the edge
+// list is never materialised: peak memory is z segment readers plus the
+// per-instance vertex caches. (The all-edge "ne" strategy is the
+// exception — it collects each instance's segment into memory by design.)
+// Each instance gets the per-instance seed offset of RunStrategySpotlight
+// and an exact per-segment edge count for condition (C2).
+func RunStrategySpotlightFile(name, path string, cfg SpotlightConfig, spec Spec) (*metrics.Assignment, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ranges, err := stream.Plan(path, cfg.Z)
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]*stream.Segment, len(ranges))
+	defer func() {
+		for _, s := range segs {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}()
+	streams := make([]stream.Stream, len(ranges))
+	for i, r := range ranges {
+		seg, err := stream.OpenSegment(r)
+		if err != nil {
+			return nil, err
+		}
+		segs[i], streams[i] = seg, seg
+	}
+	if spec.K == 0 {
+		spec.K = cfg.K
+	}
+	return RunSpotlightStreams(streams, cfg, func(i int, allowed []int) (Runner, error) {
+		s := spec
+		s.Allowed = allowed
+		s.Seed = spec.Seed + uint64(i)
+		if s.TotalEdgesHint == 0 {
+			s.TotalEdgesHint = ranges[i].Edges
 		}
 		return New(name, s)
 	})

@@ -3,6 +3,9 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/adwise-go/adwise/internal/gen"
@@ -11,6 +14,14 @@ import (
 	"github.com/adwise-go/adwise/internal/partition"
 	"github.com/adwise-go/adwise/internal/stream"
 )
+
+func edgesN(n int) []graph.Edge {
+	out := make([]graph.Edge, n)
+	for i := range out {
+		out[i] = graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1)}
+	}
+	return out
+}
 
 func clusteredGraph(t *testing.T) *graph.Graph {
 	t.Helper()
@@ -229,6 +240,86 @@ func TestSpotlightEmptyEdges(t *testing.T) {
 		return nil, fmt.Errorf("unreachable")
 	}); err == nil {
 		t.Error("empty edges accepted")
+	}
+}
+
+func TestSpotlightFewerEdgesThanZ(t *testing.T) {
+	// stream.Chunks clamps z when len(edges) < z; silently building fewer
+	// runners than Z would leave some spreads' partitions unreachable with
+	// no signal. The executor must reject the degenerate case instead.
+	cfg := SpotlightConfig{K: 8, Z: 4, Spread: 2}
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}}
+	_, err := RunSpotlight(edges, cfg, func(i int, allowed []int) (Runner, error) {
+		return New("hash", Spec{K: 8, Allowed: allowed})
+	})
+	if err == nil {
+		t.Fatal("3 edges accepted for Z=4 instances")
+	}
+	if !strings.Contains(err.Error(), "Z=4") || !strings.Contains(err.Error(), "3") {
+		t.Errorf("degenerate-case error not descriptive: %v", err)
+	}
+	// Exactly Z edges is the smallest legal input: one edge per instance.
+	edges = append(edges, graph.Edge{Src: 3, Dst: 4})
+	a, err := RunSpotlight(edges, cfg, func(i int, allowed []int) (Runner, error) {
+		return New("hash", Spec{K: 8, Allowed: allowed})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 4 {
+		t.Errorf("assigned %d of 4 edges", a.Len())
+	}
+}
+
+func TestRunSpotlightStreamsCountMismatch(t *testing.T) {
+	cfg := SpotlightConfig{K: 4, Z: 2, Spread: 2}
+	streams := []stream.Stream{stream.FromEdges(edgesN(4))}
+	if _, err := RunSpotlightStreams(streams, cfg, func(i int, allowed []int) (Runner, error) {
+		return New("hash", Spec{K: 4, Allowed: allowed})
+	}); err == nil {
+		t.Error("1 stream accepted for Z=2 instances")
+	}
+}
+
+func TestRunSpotlightStreamsEnforcesStreamErrors(t *testing.T) {
+	// Even a Runner that ignores the stream error contract must not turn a
+	// failing stream into a short success: the executor checks stream.Err.
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\nbroken\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := SpotlightConfig{K: 2, Z: 2, Spread: 1, Sequential: true}
+	ranges, err := stream.Plan(path, cfg.Z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([]stream.Stream, len(ranges))
+	for i, r := range ranges {
+		seg, err := stream.OpenSegment(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer seg.Close()
+		streams[i] = seg
+	}
+	careless := RunnerFunc(func(s stream.Stream) (*metrics.Assignment, error) {
+		a := metrics.NewAssignment(2, 4)
+		var buf [8]graph.Edge
+		for {
+			n := stream.NextBatch(s, buf[:])
+			if n == 0 {
+				return a, nil // no stream.Err check — deliberately buggy
+			}
+			for _, e := range buf[:n] {
+				a.Add(e, 0)
+			}
+		}
+	})
+	_, err = RunSpotlightStreams(streams, cfg, func(i int, allowed []int) (Runner, error) {
+		return careless, nil
+	})
+	if err == nil {
+		t.Error("executor accepted a failing segment stream drained by a careless runner")
 	}
 }
 

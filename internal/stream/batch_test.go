@@ -50,7 +50,10 @@ func TestNextBatchFallback(t *testing.T) {
 
 func TestCollect(t *testing.T) {
 	edges := edgesN(1000)
-	got := Collect(FromEdges(edges))
+	got, err := Collect(FromEdges(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != len(edges) {
 		t.Fatalf("Collect returned %d edges, want %d", len(got), len(edges))
 	}
@@ -59,8 +62,8 @@ func TestCollect(t *testing.T) {
 			t.Fatalf("Collect edge %d = %v, want %v", i, got[i], edges[i])
 		}
 	}
-	if got := Collect(FromEdges(nil)); len(got) != 0 {
-		t.Errorf("Collect of empty stream returned %d edges", len(got))
+	if got, err := Collect(FromEdges(nil)); err != nil || len(got) != 0 {
+		t.Errorf("Collect of empty stream = %d edges, err %v", len(got), err)
 	}
 }
 

@@ -7,9 +7,110 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"github.com/adwise-go/adwise/internal/graph"
 )
+
+// maxLineBytes bounds the scanner token size for edge-list lines. A line
+// longer than this is a stream error (bufio.ErrTooLong), surfaced via Err.
+const maxLineBytes = 1024 * 1024
+
+// lineParser is the text edge-list scanning core shared by File (whole
+// file) and Segment (one planned byte range): a scanner over some byte
+// range plus the exact remaining count established by the counting pass.
+// It implements the stream error contract — a parse or scan failure zeroes
+// the remainder and is reported by Err, so exhaustion with a pending error
+// is distinguishable from clean completion.
+type lineParser struct {
+	sc        *bufio.Scanner
+	remaining int64
+	err       error
+}
+
+func newLineParser(r io.Reader, remaining int64) lineParser {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, maxLineBytes), maxLineBytes)
+	return lineParser{sc: sc, remaining: remaining}
+}
+
+// fail records the stream error and zeroes the remainder: edges past the
+// failure point will never arrive, and condition (C2) must not budget
+// latency for them.
+func (p *lineParser) fail(err error) {
+	p.err = err
+	p.remaining = 0
+}
+
+// Next implements Stream as a one-edge batch. A malformed line terminates
+// the stream; the parse error is available via Err.
+func (p *lineParser) Next() (graph.Edge, bool) {
+	var one [1]graph.Edge
+	if p.NextBatch(one[:]) == 0 {
+		return graph.Edge{}, false
+	}
+	return one[0], true
+}
+
+// NextBatch implements Batcher: it parses up to len(dst) edges in one call,
+// touching the scanner in a tight loop so the per-edge cost is line parsing
+// alone rather than parsing plus interface dispatch per edge.
+func (p *lineParser) NextBatch(dst []graph.Edge) int {
+	if p.err != nil {
+		return 0
+	}
+	n := 0
+	for n < len(dst) && p.sc.Scan() {
+		line := strings.TrimSpace(p.sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			p.fail(fmt.Errorf("stream: malformed line %q", line))
+			return n
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			p.fail(fmt.Errorf("stream: parsing src %q: %w", fields[0], err))
+			return n
+		}
+		dstID, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			p.fail(fmt.Errorf("stream: parsing dst %q: %w", fields[1], err))
+			return n
+		}
+		p.remaining--
+		dst[n] = graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dstID)}
+		n++
+	}
+	if n < len(dst) && p.err == nil {
+		if err := p.sc.Err(); err != nil {
+			p.fail(fmt.Errorf("stream: scanning edge list: %w", err))
+		}
+	}
+	return n
+}
+
+// Remaining implements Stream. After a stream error it reports 0: a failed
+// stream has no usable remainder.
+func (p *lineParser) Remaining() int64 { return p.remaining }
+
+// Err implements Errer: the first error encountered while streaming, or
+// nil on clean exhaustion.
+func (p *lineParser) Err() error { return p.err }
+
+// isDataLine reports whether a trimmed line is one the parser would attempt
+// to parse as an edge: non-empty, not a comment, and at least two fields.
+// The counting pass and the parser share this shape test so Remaining
+// counts exactly the lines NextBatch parses.
+func isDataLine(trimmed string) bool {
+	if trimmed == "" || trimmed[0] == '#' || trimmed[0] == '%' {
+		return false
+	}
+	i := strings.IndexFunc(trimmed, unicode.IsSpace)
+	return i >= 0 && strings.TrimSpace(trimmed[i:]) != ""
+}
 
 // File streams edges from a text edge-list file without materialising the
 // graph in memory — the loading model of Figure 3 in the paper, where "the
@@ -19,10 +120,8 @@ import (
 // The edge count is established up front with a line count pass, exactly as
 // the paper suggests for condition (C2).
 type File struct {
-	f         *os.File
-	sc        *bufio.Scanner
-	remaining int64
-	err       error
+	f *os.File
+	lineParser
 }
 
 // OpenFile opens path as an edge stream. The first pass counts data lines
@@ -36,9 +135,7 @@ func OpenFile(path string) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream: opening %s: %w", path, err)
 	}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	return &File{f: f, sc: sc, remaining: count}, nil
+	return &File{f: f, lineParser: newLineParser(f, count)}, nil
 }
 
 func countDataLines(path string) (int64, error) {
@@ -51,8 +148,7 @@ func countDataLines(path string) (int64, error) {
 	br := bufio.NewReaderSize(f, 1<<20)
 	for {
 		line, err := br.ReadString('\n')
-		trimmed := strings.TrimSpace(line)
-		if trimmed != "" && trimmed[0] != '#' && trimmed[0] != '%' {
+		if isDataLine(strings.TrimSpace(line)) {
 			count++
 		}
 		if err == io.EOF {
@@ -63,61 +159,6 @@ func countDataLines(path string) (int64, error) {
 		}
 	}
 }
-
-// Next implements Stream as a one-edge batch. A malformed line terminates
-// the stream; the parse error is available via Err.
-func (fs *File) Next() (graph.Edge, bool) {
-	var one [1]graph.Edge
-	if fs.NextBatch(one[:]) == 0 {
-		return graph.Edge{}, false
-	}
-	return one[0], true
-}
-
-// NextBatch implements Batcher: it parses up to len(dst) edges in one call,
-// touching the scanner in a tight loop so the per-edge cost is line parsing
-// alone rather than parsing plus interface dispatch per edge.
-func (fs *File) NextBatch(dst []graph.Edge) int {
-	if fs.err != nil {
-		return 0
-	}
-	n := 0
-	for n < len(dst) && fs.sc.Scan() {
-		line := strings.TrimSpace(fs.sc.Text())
-		if line == "" || line[0] == '#' || line[0] == '%' {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			fs.err = fmt.Errorf("stream: malformed line %q", line)
-			return n
-		}
-		src, err := strconv.ParseUint(fields[0], 10, 32)
-		if err != nil {
-			fs.err = fmt.Errorf("stream: parsing src %q: %w", fields[0], err)
-			return n
-		}
-		dstID, err := strconv.ParseUint(fields[1], 10, 32)
-		if err != nil {
-			fs.err = fmt.Errorf("stream: parsing dst %q: %w", fields[1], err)
-			return n
-		}
-		fs.remaining--
-		dst[n] = graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dstID)}
-		n++
-	}
-	if n < len(dst) && fs.err == nil {
-		fs.err = fs.sc.Err()
-	}
-	return n
-}
-
-// Remaining implements Stream.
-func (fs *File) Remaining() int64 { return fs.remaining }
-
-// Err returns the first error encountered while streaming, or nil on clean
-// exhaustion.
-func (fs *File) Err() error { return fs.err }
 
 // Close releases the underlying file.
 func (fs *File) Close() error {

@@ -8,6 +8,7 @@
 package stream
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"github.com/adwise-go/adwise/internal/graph"
@@ -30,6 +31,28 @@ type Batcher interface {
 	NextBatch(dst []graph.Edge) int
 }
 
+// Errer is the error-reporting side of a fallible Stream. A stream that can
+// fail mid-pass (a file that hits a malformed line, an I/O error, ...)
+// exhausts early and records the cause here. Exhaustion with a pending Err
+// is a failure, never a short success: every consumer that drains a stream
+// to completion must check Err before treating the pass as done.
+type Errer interface {
+	// Err returns the first error encountered while streaming, or nil on
+	// clean exhaustion so far.
+	Err() error
+}
+
+// Err returns the pending stream error of s: the Errer error if s reports
+// one, nil for streams that cannot fail (slices) or have not failed.
+// Wrappers (Buffered, Counted, Limit) forward their inner stream's error
+// state, so checking the outermost stream suffices.
+func Err(s Stream) error {
+	if e, ok := s.(Errer); ok {
+		return e.Err()
+	}
+	return nil
+}
+
 // NextBatch fills dst from s, using the stream's native batch support when
 // available and falling back to a per-edge Next loop otherwise. It returns
 // the number of edges written; zero means exhaustion (dst must be
@@ -50,8 +73,9 @@ func NextBatch(s Stream, dst []graph.Edge) int {
 	return n
 }
 
-// Collect drains s into a new edge slice, batch-wise.
-func Collect(s Stream) []graph.Edge {
+// Collect drains s into a new edge slice, batch-wise. A stream that fails
+// mid-pass returns the error, not a silently-short slice.
+func Collect(s Stream) ([]graph.Edge, error) {
 	hint := s.Remaining()
 	if hint < 0 {
 		hint = 1024
@@ -61,7 +85,10 @@ func Collect(s Stream) []graph.Edge {
 	for {
 		n := NextBatch(s, buf[:])
 		if n == 0 {
-			return out
+			if err := Err(s); err != nil {
+				return nil, fmt.Errorf("stream: collecting after %d edges: %w", len(out), err)
+			}
+			return out, nil
 		}
 		out = append(out, buf[:n]...)
 	}
@@ -197,6 +224,9 @@ func (c *Counted) NextBatch(dst []graph.Edge) int {
 // Remaining implements Stream.
 func (c *Counted) Remaining() int64 { return c.Inner.Remaining() }
 
+// Err implements Errer, forwarding the inner stream's error state.
+func (c *Counted) Err() error { return Err(c.Inner) }
+
 // Limit wraps a Stream and stops after max edges; used in failure-injection
 // tests to model truncated inputs.
 type Limit struct {
@@ -243,6 +273,9 @@ func (l *Limit) Remaining() int64 {
 	}
 	return r
 }
+
+// Err implements Errer, forwarding the inner stream's error state.
+func (l *Limit) Err() error { return Err(l.Inner) }
 
 // Buffered adapts any Stream into one whose Next is a cheap slice read:
 // edges are pulled from the inner stream a batch at a time via NextBatch.
@@ -324,3 +357,7 @@ func (b *Buffered) Remaining() int64 {
 	}
 	return r + pending
 }
+
+// Err implements Errer, forwarding the inner stream's error state: a
+// buffered stream whose source failed must not look cleanly exhausted.
+func (b *Buffered) Err() error { return Err(b.inner) }
