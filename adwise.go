@@ -53,6 +53,10 @@ type (
 	Summary = metrics.Summary
 	// Stream is a single-pass edge stream.
 	Stream = stream.Stream
+	// FileStream is a file-backed edge stream: batched streaming plus the
+	// stream error contract plus Close. Returned by StreamFile for text
+	// and binary graph files alike.
+	FileStream = stream.FileStream
 )
 
 // ADWISE configuration options, re-exported from the core implementation.
@@ -199,9 +203,10 @@ func StreamGraph(g *Graph) Stream { return stream.FromGraph(g) }
 // StreamEdges streams an edge slice in order.
 func StreamEdges(edges []Edge) Stream { return stream.FromEdges(edges) }
 
-// StreamFile streams a text edge-list file without materialising it; the
-// returned closer must be closed by the caller.
-func StreamFile(path string) (*stream.File, error) { return stream.OpenFile(path) }
+// StreamFile streams a graph file without materialising it, sniffing the
+// format: ADWB binary files stream fixed records, everything else streams
+// as a text edge list. The returned stream must be closed by the caller.
+func StreamFile(path string) (FileStream, error) { return stream.Open(path) }
 
 // StreamErr returns the pending error of a stream that can fail mid-pass
 // (file and segment streams), or nil for streams that cannot fail or have
@@ -211,9 +216,10 @@ func StreamFile(path string) (*stream.File, error) { return stream.OpenFile(path
 func StreamErr(s Stream) error { return stream.Err(s) }
 
 // IsBinaryGraphFile reports whether path is a binary (ADWB) edge-list
-// file. Binary files load via LoadGraph; text files can additionally be
-// streamed (StreamFile) or segment-partitioned (PartitionFileSpotlight)
-// without materialising the edge list.
+// file. Purely informational since the ingest layer became
+// format-agnostic: loading (LoadGraph), streaming (StreamFile), and
+// segment partitioning (PartitionFileSpotlight) all sniff the format and
+// handle both encodings.
 func IsBinaryGraphFile(path string) (bool, error) { return graph.IsBinary(path) }
 
 // Shuffle returns a seeded pseudo-random permutation of edges.
@@ -276,12 +282,14 @@ func RunSpotlightStreams(streams []Stream, cfg SpotlightConfig, build func(i int
 	return runtime.RunSpotlightStreams(streams, cfg, build)
 }
 
-// PartitionFileSpotlight partitions a text edge-list file with Z
-// registry-built instances of the named strategy, each streaming a
-// disjoint byte range of the file (the paper's Figure 3 deployment). With
-// streaming strategies the edge list is never materialised, so the file
-// may be far larger than memory; the all-edge "ne" strategy still
-// collects each instance's segment.
+// PartitionFileSpotlight partitions a graph file — text edge list or ADWB
+// binary, sniffed automatically — with Z registry-built instances of the
+// named strategy, each streaming a disjoint byte range of the file (the
+// paper's Figure 3 deployment). Binary files are planned by record
+// arithmetic on the header with no pass over the data. With streaming
+// strategies the edge list is never materialised, so the file may be far
+// larger than memory; the all-edge "ne" strategy still collects each
+// instance's segment.
 func PartitionFileSpotlight(name, path string, cfg SpotlightConfig, spec StrategySpec) (*Assignment, error) {
 	return runtime.RunStrategySpotlightFile(name, path, cfg, spec)
 }

@@ -7,11 +7,13 @@
 //	adwise-bench -exp list
 //	adwise-bench -exp fig7a -scale 0.2 -v
 //	adwise-bench -exp all -scale 0.1 > results.txt
+//	adwise-bench -exp ingest -json > BENCH_ingest.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 
@@ -19,13 +21,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "adwise-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("adwise-bench", flag.ContinueOnError)
 	var (
 		exp     = fs.String("exp", "list", `experiment id, "all", or "list"`)
@@ -35,6 +37,7 @@ func run(args []string) error {
 		z       = fs.Int("z", 8, "parallel partitioner instances")
 		spread  = fs.Int("spread", 4, "spotlight spread (partitions per instance)")
 		verbose = fs.Bool("v", false, "print progress lines to stderr")
+		jsonOut = fs.Bool("json", false, "emit results as JSON instead of aligned text tables")
 		profile = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,13 +67,16 @@ func run(args []string) error {
 
 	switch *exp {
 	case "list":
-		fmt.Println("available experiments:")
+		fmt.Fprintln(stdout, "available experiments:")
 		for _, e := range adwise.Experiments() {
-			fmt.Printf("  %-20s %s\n", e.ID, e.Paper)
+			fmt.Fprintf(stdout, "  %-20s %s\n", e.ID, e.Paper)
 		}
 		return nil
 	case "all":
-		return adwise.RunAllExperiments(cfg, os.Stdout)
+		if *jsonOut {
+			return adwise.RunAllExperimentsJSON(cfg, stdout)
+		}
+		return adwise.RunAllExperiments(cfg, stdout)
 	default:
 		e, err := adwise.LookupExperiment(*exp)
 		if err != nil {
@@ -80,6 +86,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return t.Fprint(os.Stdout)
+		if *jsonOut {
+			return t.WriteJSON(stdout)
+		}
+		return t.Fprint(stdout)
 	}
 }

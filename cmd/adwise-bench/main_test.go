@@ -1,27 +1,58 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"-exp", "list"}); err != nil {
+	if err := run([]string{"-exp", "list"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run([]string{"-exp", "table2", "-scale", "0.02"}); err != nil {
+	if err := run([]string{"-exp", "table2", "-scale", "0.02"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAblation(t *testing.T) {
-	if err := run([]string{"-exp", "ablation-window", "-scale", "0.02", "-v"}); err != nil {
+	if err := run([]string{"-exp", "ablation-window", "-scale", "0.02", "-v"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-exp", "bogus"}); err == nil {
+	if err := run([]string{"-exp", "bogus"}, io.Discard); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "ingest", "-scale", "0.02", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tab struct {
+		ID      string     `json:"id"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tab); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if tab.ID != "Ingest" {
+		t.Errorf("id = %q, want Ingest", tab.ID)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("rows = %d, want 4 ({text,binary} x {materialised,segmented})", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Errorf("row %v has %d cells for %d columns", row, len(row), len(tab.Columns))
+		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"os"
+	"strings"
 	"time"
 
 	adwise "github.com/adwise-go/adwise"
@@ -32,7 +33,7 @@ func run(args []string) error {
 		in       = fs.String("in", "", "input graph file")
 		parts    = fs.String("parts", "", "precomputed assignment TSV (from adwise -out); skips partitioning")
 		k        = fs.Int("k", 32, "partitions")
-		algo     = fs.String("algo", "hdrf", "partitioning strategy: adwise, hash, 1d, 2d, grid, greedy, dbh, hdrf")
+		algo     = fs.String("algo", "hdrf", "partitioning strategy: "+strings.Join(adwise.StrategyNames(), ", "))
 		latency  = fs.Duration("latency", 0, "ADWISE latency preference")
 		workload = fs.String("workload", "pagerank", "pagerank, coloring, cc, sssp, cycles, cliques")
 		iters    = fs.Int("iters", 100, "iterations (pagerank/coloring/cc/sssp)")
@@ -69,23 +70,18 @@ func run(args []string) error {
 		}
 		fmt.Printf("loaded assignment %s: k=%d\n", *parts, a.K)
 	} else {
+		// Registry-built strategy (any registered name, no hand-rolled
+		// switch) over the graph the format-agnostic loader already
+		// materialised — the engine below needs g in memory anyway, so
+		// partitioning streams the in-memory edge list rather than
+		// re-reading the file.
+		s, err := adwise.NewStrategy(*algo, adwise.StrategySpec{K: *k, Seed: *seed, Latency: *latency})
+		if err != nil {
+			return err
+		}
 		start := time.Now()
-		if *algo == "adwise" {
-			p, err := adwise.NewADWISE(*k, adwise.WithLatencyPreference(*latency))
-			if err != nil {
-				return err
-			}
-			if a, err = p.Run(adwise.StreamGraph(g)); err != nil {
-				return err
-			}
-		} else {
-			p, err := adwise.NewBaseline(adwise.Baseline(*algo), adwise.BaselineConfig{K: *k, Seed: *seed})
-			if err != nil {
-				return err
-			}
-			if a, err = adwise.RunBaseline(adwise.StreamGraph(g), p); err != nil {
-				return err
-			}
+		if a, err = s.Run(adwise.StreamGraph(g)); err != nil {
+			return err
 		}
 		partLat = time.Since(start)
 	}

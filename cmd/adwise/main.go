@@ -8,13 +8,13 @@
 //	adwise -in graph.txt -k 32 -algo hdrf -out assignment.tsv
 //	adwise -in graph.txt -k 32 -z 8 -spread 4 -algo adwise -latency 5s
 //
-// With -z > 1 the stream is split into z chunks partitioned in parallel
-// under the spotlight optimization with the given spread. For text edge
-// lists the z instances stream disjoint byte ranges of the file directly
-// (segmented loading) — streaming strategies never materialise the edge
-// list, so the input may be larger than memory (the all-edge "ne"
-// strategy still collects each instance's segment); binary (.bin) inputs
-// fall back to loading the edge list and chunking it.
+// With -z > 1 the input is partitioned by z parallel instances under the
+// spotlight optimization with the given spread, each streaming a disjoint
+// byte range of the file (segmented loading) — for text edge lists and
+// binary (.bin) inputs alike; binary ranges are planned from the header
+// with no pass over the data. Streaming strategies never materialise the
+// edge list, so the input may be larger than memory (the all-edge "ne"
+// strategy still collects each instance's segment).
 package main
 
 import (
@@ -95,39 +95,21 @@ func partitionInput(in, algo string, k, z, spread int, seed uint64, latency time
 		if spread == 0 {
 			spread = k / z
 		}
+		// Feed the z instances from disjoint byte ranges of the file
+		// without materialising the edge list, whatever the format.
 		cfg := adwise.SpotlightConfig{K: k, Z: z, Spread: spread}
-		bin, err := adwise.IsBinaryGraphFile(in)
-		if err != nil {
-			return nil, err
-		}
-		if !bin {
-			// Text edge list: feed the z instances from disjoint byte
-			// ranges of the file without materialising the edge list.
-			fmt.Printf("streaming %s: z=%d segmented byte-range loaders, spread=%d\n", in, z, spread)
-			return adwise.PartitionFileSpotlight(algo, in, cfg, spec)
-		}
-		g, err := loadAndReport(in)
-		if err != nil {
-			return nil, err
-		}
-		return adwise.RunStrategySpotlight(algo, g.Edges, cfg, spec)
-	}
-	g, err := loadAndReport(in)
-	if err != nil {
-		return nil, err
+		fmt.Printf("streaming %s: z=%d segmented byte-range loaders, spread=%d\n", in, z, spread)
+		return adwise.PartitionFileSpotlight(algo, in, cfg, spec)
 	}
 	s, err := adwise.NewStrategy(algo, spec)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(adwise.StreamGraph(g))
-}
-
-func loadAndReport(in string) (*adwise.Graph, error) {
-	g, err := adwise.LoadGraph(in)
+	fs, err := adwise.StreamFile(in)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("loaded %s: %d vertices, %d edges\n", in, g.V(), g.E())
-	return g, nil
+	defer fs.Close()
+	fmt.Printf("streaming %s: %d edges\n", in, fs.Remaining())
+	return s.Run(fs)
 }

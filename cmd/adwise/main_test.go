@@ -61,9 +61,10 @@ func TestRunSpotlightSegmentedAssignsEveryEdge(t *testing.T) {
 	}
 }
 
-func TestRunSpotlightBinaryFallsBackToMaterialised(t *testing.T) {
-	// Binary inputs cannot be segment-planned; -z must still work by
-	// loading the edge list and chunking it.
+func TestRunSpotlightBinarySegmentedAssignsEveryEdge(t *testing.T) {
+	// -z on a binary input streams disjoint record ranges planned from the
+	// header — no materialised fallback — and the written assignment must
+	// still cover the whole graph.
 	g, err := adwise.Community(10, 8, 0.9, 50, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -72,8 +73,34 @@ func TestRunSpotlightBinaryFallsBackToMaterialised(t *testing.T) {
 	if err := adwise.SaveGraph(path, g); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-in", path, "-k", "8", "-z", "4", "-algo", "hdrf"}); err != nil {
-		t.Errorf("binary spotlight run: %v", err)
+	out := filepath.Join(t.TempDir(), "parts.tsv")
+	if err := run([]string{"-in", path, "-k", "8", "-z", "4", "-algo", "hdrf", "-out", out}); err != nil {
+		t.Fatalf("binary spotlight run: %v", err)
+	}
+	a, err := adwise.LoadAssignment(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != g.E() {
+		t.Errorf("binary segmented spotlight assigned %d of %d edges", a.Len(), g.E())
+	}
+}
+
+func TestRunBinarySingleInstanceStreams(t *testing.T) {
+	// z=1 on a binary input goes through the same format-agnostic stream
+	// layer (no edge-list materialisation for streaming strategies).
+	g, err := adwise.Community(10, 8, 0.9, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := adwise.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"hdrf", "adwise", "ne"} {
+		if err := run([]string{"-in", path, "-k", "4", "-algo", algo}); err != nil {
+			t.Errorf("algo %s on binary input: %v", algo, err)
+		}
 	}
 }
 

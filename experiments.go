@@ -33,3 +33,9 @@ func LookupExperiment(id string) (Experiment, error) { return bench.Lookup(id) }
 func RunAllExperiments(cfg ExperimentConfig, w io.Writer) error {
 	return bench.RunAll(cfg, w)
 }
+
+// RunAllExperimentsJSON executes the full suite and writes one JSON array
+// of tables to w — the machine-readable form behind adwise-bench -json.
+func RunAllExperimentsJSON(cfg ExperimentConfig, w io.Writer) error {
+	return bench.RunAllJSON(cfg, w)
+}

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -100,13 +101,22 @@ func (c Config) progressf(format string, args ...any) {
 	}
 }
 
-// Table is a printable experiment result.
+// Table is a printable experiment result. The exported fields marshal to
+// JSON as-is (cmd/adwise-bench -json), so the per-PR perf trajectory can
+// be captured machine-readably; cell values stay strings, formatted
+// exactly as the text tables print them.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// WriteJSON writes the table as one JSON object.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
 }
 
 // AddRow appends a row; cells are formatted with %v.

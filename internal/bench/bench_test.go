@@ -193,11 +193,23 @@ func TestIngestStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 2 {
-		t.Fatalf("Ingest rows = %d, want 2 (materialised, segmented)", len(tab.Rows))
+	want := []string{"text materialised", "text segmented", "binary materialised", "binary segmented"}
+	if len(tab.Rows) != len(want) {
+		t.Fatalf("Ingest rows = %d, want %d (%v)", len(tab.Rows), len(want), want)
 	}
-	if tab.Rows[0][0] != "materialised" || tab.Rows[1][0] != "segmented" {
-		t.Errorf("unexpected row labels: %v / %v", tab.Rows[0][0], tab.Rows[1][0])
+	for i, label := range want {
+		if tab.Rows[i][0] != label {
+			t.Errorf("row %d label = %q, want %q", i, tab.Rows[i][0], label)
+		}
+	}
+	// Both materialised runs and the binary segmented run chunk the edge
+	// list identically (stream.Chunks distribution), so quality must agree
+	// exactly across them; text segmented snaps chunk boundaries to byte
+	// targets and may differ marginally, so it is excluded.
+	for _, i := range []int{2, 3} {
+		if tab.Rows[i][3] != tab.Rows[0][3] {
+			t.Errorf("row %d (%s) RF = %s, want %s (identical chunking)", i, tab.Rows[i][0], tab.Rows[i][3], tab.Rows[0][3])
+		}
 	}
 }
 

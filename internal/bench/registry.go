@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -71,4 +72,20 @@ func RunAll(cfg Config, w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// RunAllJSON executes every experiment and writes the results to w as one
+// JSON array of tables. It stops at the first failure, writing nothing.
+func RunAllJSON(cfg Config, w io.Writer) error {
+	tables := make([]*Table, 0, len(Experiments()))
+	for _, e := range Experiments() {
+		t, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("bench: %s: %w", e.ID, err)
+		}
+		tables = append(tables, t)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
 }

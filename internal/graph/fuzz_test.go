@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func fuzzHeader(numV, numE uint64) []byte {
+	hdr := make([]byte, BinaryHeaderSize)
+	copy(hdr, binaryMagic)
+	binary.LittleEndian.PutUint64(hdr[4:12], numV)
+	binary.LittleEndian.PutUint64(hdr[12:20], numE)
+	return hdr
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var valid bytes.Buffer
+	_ = WriteBinary(&valid, &Graph{NumV: 4, Edges: []Edge{{0, 1}, {1, 2}, {2, 3}}})
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()-5])    // torn trailing record
+	f.Add(valid.Bytes()[:BinaryHeaderSize]) // header only
+	f.Add(fuzzHeader(1, 1<<33))             // hostile count, no data
+	f.Add(fuzzHeader(1<<40, 0))             // vertex count past the id space
+	f.Add([]byte("ADWB"))
+	f.Add([]byte("# not binary\n0 1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// ReadBinary over arbitrary bytes must never panic, and — the
+		// hardening this fuzzes — never allocate more edge memory than the
+		// data actually backs. On success the edge list must match the
+		// declared count exactly.
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(data) < BinaryHeaderSize {
+			t.Fatalf("accepted %d bytes, shorter than the header", len(data))
+		}
+		declared := binary.LittleEndian.Uint64(data[12:20])
+		if uint64(len(g.Edges)) != declared {
+			t.Fatalf("read %d edges, header declares %d", len(g.Edges), declared)
+		}
+		if body := len(data) - BinaryHeaderSize; uint64(body) < declared*BinaryRecordSize {
+			t.Fatalf("accepted %d record bytes for %d declared records", body, declared)
+		}
+	})
+}

@@ -2,7 +2,6 @@ package graph
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
@@ -15,12 +14,12 @@ import (
 //
 //   - Text: one "src dst" pair per line, whitespace separated, with '#' and
 //     '%' comment lines — the SNAP / KONECT convention used for the paper's
-//     evaluation graphs.
-//   - Binary: magic "ADWB" followed by little-endian uint64 edge count and
-//     uint32 pairs; ~4x smaller and ~10x faster to load, used by the bench
-//     harness to re-stream large synthetic graphs.
-
-const binaryMagic = "ADWB"
+//     evaluation graphs. This file.
+//   - Binary (ADWB): fixed 8-byte records behind a validated header; see
+//     binary.go.
+//
+// LoadFile sniffs the format and dispatches; the streaming equivalents
+// (stream.Open, stream.PlanFile) do the same without materialising.
 
 // ReadEdgeListText parses a text edge list from r. Lines beginning with '#'
 // or '%' and blank lines are skipped. Each data line must contain at least
@@ -88,95 +87,6 @@ func WriteEdgeListText(w io.Writer, g *Graph) error {
 		return fmt.Errorf("graph: flushing edge list: %w", err)
 	}
 	return nil
-}
-
-// WriteBinary writes g in the compact binary format.
-func WriteBinary(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binaryMagic); err != nil {
-		return fmt.Errorf("graph: writing magic: %w", err)
-	}
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], uint64(g.NumV))
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(g.Edges)))
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("graph: writing header: %w", err)
-	}
-	var rec [8]byte
-	for _, e := range g.Edges {
-		binary.LittleEndian.PutUint32(rec[0:4], uint32(e.Src))
-		binary.LittleEndian.PutUint32(rec[4:8], uint32(e.Dst))
-		if _, err := bw.Write(rec[:]); err != nil {
-			return fmt.Errorf("graph: writing edge record: %w", err)
-		}
-	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("graph: flushing binary graph: %w", err)
-	}
-	return nil
-}
-
-// ReadBinary reads a graph in the compact binary format.
-func ReadBinary(r io.Reader) (*Graph, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(binaryMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("graph: reading magic: %w", err)
-	}
-	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("graph: bad magic %q, want %q", magic, binaryMagic)
-	}
-	var hdr [16]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("graph: reading header: %w", err)
-	}
-	numV := binary.LittleEndian.Uint64(hdr[0:8])
-	numE := binary.LittleEndian.Uint64(hdr[8:16])
-	if numV > math.MaxUint32+1 {
-		return nil, fmt.Errorf("graph: vertex count %d exceeds 32-bit id space", numV)
-	}
-	const maxEdges = 1 << 34 // 16 Gi edges: sanity bound against corrupt headers
-	if numE > maxEdges {
-		return nil, fmt.Errorf("graph: implausible edge count %d", numE)
-	}
-	edges := make([]Edge, numE)
-	var rec [8]byte
-	for i := range edges {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("graph: reading edge %d/%d: %w", i, numE, err)
-		}
-		edges[i] = Edge{
-			Src: VertexID(binary.LittleEndian.Uint32(rec[0:4])),
-			Dst: VertexID(binary.LittleEndian.Uint32(rec[4:8])),
-		}
-	}
-	return &Graph{NumV: int(numV), Edges: edges}, nil
-}
-
-// sniffBinary reports whether the open file begins with the binary
-// edge-list magic, leaving the read position at the start of the file.
-func sniffBinary(f *os.File) (bool, error) {
-	magic := make([]byte, len(binaryMagic))
-	n, err := io.ReadFull(f, magic)
-	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
-		return false, fmt.Errorf("graph: sniffing %s: %w", f.Name(), err)
-	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return false, fmt.Errorf("graph: rewinding %s: %w", f.Name(), err)
-	}
-	return n == len(binaryMagic) && string(magic) == binaryMagic, nil
-}
-
-// IsBinary reports whether path begins with the binary edge-list magic —
-// the format sniff callers need before choosing a loading path that only
-// works on text edge lists (e.g. segmented byte-range streaming).
-func IsBinary(path string) (bool, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return false, fmt.Errorf("graph: opening %s: %w", path, err)
-	}
-	defer f.Close()
-	return sniffBinary(f)
 }
 
 // LoadFile loads a graph from path, choosing the format by sniffing the

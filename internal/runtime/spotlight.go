@@ -172,25 +172,28 @@ func RunStrategySpotlight(name string, edges []graph.Edge, cfg SpotlightConfig, 
 	})
 }
 
-// RunStrategySpotlightFile partitions the text edge-list file at path with
-// Z registry-built instances of the named strategy, each streaming a
-// disjoint byte range of the file (stream.Plan + stream.OpenSegment) — the
-// paper's Figure 3 deployment, where z loader machines each consume their
-// own chunk of one large graph file. With streaming strategies the edge
-// list is never materialised: peak memory is z segment readers plus the
-// per-instance vertex caches. (The all-edge "ne" strategy is the
-// exception — it collects each instance's segment into memory by design.)
-// Each instance gets the per-instance seed offset of RunStrategySpotlight
-// and an exact per-segment edge count for condition (C2).
+// RunStrategySpotlightFile partitions the graph file at path — text edge
+// list or ADWB binary, sniffed by the ingest layer — with Z registry-built
+// instances of the named strategy, each streaming a disjoint byte range of
+// the file (stream.PlanFile + stream.OpenSegment): the paper's Figure 3
+// deployment, where z loader machines each consume their own chunk of one
+// large graph file. Text files are planned with one counting pass; binary
+// files by record arithmetic on the header alone, with no pass over the
+// data at all. With streaming strategies the edge list is never
+// materialised: peak memory is z segment readers plus the per-instance
+// vertex caches. (The all-edge "ne" strategy is the exception — it
+// collects each instance's segment into memory by design.) Each instance
+// gets the per-instance seed offset of RunStrategySpotlight and an exact
+// per-segment edge count for condition (C2).
 func RunStrategySpotlightFile(name, path string, cfg SpotlightConfig, spec Spec) (*metrics.Assignment, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	ranges, err := stream.Plan(path, cfg.Z)
+	ranges, err := stream.PlanFile(path, cfg.Z)
 	if err != nil {
 		return nil, err
 	}
-	segs := make([]*stream.Segment, len(ranges))
+	segs := make([]stream.FileStream, len(ranges))
 	defer func() {
 		for _, s := range segs {
 			if s != nil {

@@ -104,6 +104,75 @@ func TestSegmentedSpotlightMatchesMaterialised(t *testing.T) {
 	}
 }
 
+// TestBinarySegmentedSpotlightMatchesMaterialised mirrors the 1M-edge text
+// equivalence test for the ADWB path: a binary graph file partitioned by
+// z=4 record-range loaders (RunStrategySpotlightFile, planned by header
+// arithmetic with no counting pass) must produce exactly the assignment of
+// the materialised RunStrategySpotlight path — PlanBinary deliberately
+// reproduces the stream.Chunks size distribution, so the instances consume
+// identical chunks edge for edge.
+func TestBinarySegmentedSpotlightMatchesMaterialised(t *testing.T) {
+	const (
+		n    = 1 << 20 // 1,048,576 edges
+		numV = 1 << 17
+	)
+	edges := make([]graph.Edge, n)
+	for i := range edges {
+		edges[i] = syntheticEdge(i, numV)
+	}
+	path := filepath.Join(t.TempDir(), "big.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteBinary(f, &graph.Graph{NumV: numV, Edges: edges}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := SpotlightConfig{K: 32, Z: 4, Spread: 8}
+	spec := Spec{K: 32, Seed: 9}
+
+	segmented, err := RunStrategySpotlightFile("hdrf", path, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	materialised, err := RunStrategySpotlight("hdrf", edges, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical chunk semantics: planned per-range record counts must equal
+	// the materialised chunk sizes.
+	ranges, err := stream.PlanFile(path, cfg.Z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := stream.Chunks(edges, cfg.Z)
+	for i, r := range ranges {
+		if r.Format != stream.FormatBinary {
+			t.Fatalf("range %d planned as %v, want binary", i, r.Format)
+		}
+		if r.Edges != int64(len(chunks[i])) {
+			t.Fatalf("segment %d holds %d edges, materialised chunk holds %d", i, r.Edges, len(chunks[i]))
+		}
+	}
+
+	if segmented.Len() != n || materialised.Len() != n {
+		t.Fatalf("assigned %d (segmented) / %d (materialised) of %d edges", segmented.Len(), materialised.Len(), n)
+	}
+	for i := range segmented.Edges {
+		if segmented.Edges[i] != materialised.Edges[i] {
+			t.Fatalf("edge %d differs: %v (segmented) vs %v (materialised)", i, segmented.Edges[i], materialised.Edges[i])
+		}
+		if segmented.Parts[i] != materialised.Parts[i] {
+			t.Fatalf("edge %d assigned to %d (segmented) vs %d (materialised)", i, segmented.Parts[i], materialised.Parts[i])
+		}
+	}
+}
+
 func TestRunStrategySpotlightFileErrors(t *testing.T) {
 	cfg := SpotlightConfig{K: 4, Z: 2, Spread: 2}
 	if _, err := RunStrategySpotlightFile("hdrf", filepath.Join(t.TempDir(), "nope.txt"), cfg, Spec{K: 4}); err == nil {

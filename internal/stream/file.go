@@ -125,27 +125,44 @@ type File struct {
 }
 
 // OpenFile opens path as an edge stream. The first pass counts data lines
-// so Remaining is exact.
+// so Remaining is exact; the counting pass and the parse share one handle,
+// so the count cannot race a concurrent file swap.
 func OpenFile(path string) (*File, error) {
-	count, err := countDataLines(path)
-	if err != nil {
-		return nil, err
-	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("stream: opening %s: %w", path, err)
 	}
+	fs, err := openFileHandle(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fs, nil
+}
+
+// openFileHandle builds the text stream over an already-open handle
+// positioned anywhere: it counts data lines from the start, rewinds, and
+// parses from the same handle.
+func openFileHandle(f *os.File) (*File, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("stream: rewinding %s: %w", f.Name(), err)
+	}
+	count, err := countDataLinesIn(f)
+	if err != nil {
+		return nil, fmt.Errorf("stream: counting lines in %s: %w", f.Name(), err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("stream: rewinding %s: %w", f.Name(), err)
+	}
 	return &File{f: f, lineParser: newLineParser(f, count)}, nil
 }
 
-func countDataLines(path string) (int64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, fmt.Errorf("stream: opening %s for counting: %w", path, err)
-	}
-	defer f.Close()
+// countDataLinesIn is the counting pass over any reader: it counts exactly
+// the lines the parser would attempt to parse (isDataLine), which is what
+// keeps Remaining and NextBatch in agreement.
+func countDataLinesIn(r io.Reader) (int64, error) {
 	var count int64
-	br := bufio.NewReaderSize(f, 1<<20)
+	br := bufio.NewReaderSize(r, 1<<20)
 	for {
 		line, err := br.ReadString('\n')
 		if isDataLine(strings.TrimSpace(line)) {
@@ -155,7 +172,7 @@ func countDataLines(path string) (int64, error) {
 			return count, nil
 		}
 		if err != nil {
-			return 0, fmt.Errorf("stream: counting lines in %s: %w", path, err)
+			return 0, err
 		}
 	}
 }

@@ -17,22 +17,29 @@ import (
 // full edge list, which is what lets z loaders cover a graph file far
 // larger than any one machine's memory.
 
-// Range is one planned byte range of a text edge-list file: the half-open
-// interval [Start, End) beginning at a line boundary and holding exactly
-// Edges data lines.
+// Range is one planned byte range of an edge-list file: the half-open
+// interval [Start, End) aligned to an edge boundary (a line start for
+// text, a record boundary for binary) and holding exactly Edges edges.
 type Range struct {
 	// Path is the edge-list file the range indexes into.
 	Path string
-	// Start and End delimit the byte range [Start, End). Start is always a
-	// line boundary; End is the next segment's Start (or the file size).
+	// Format is the file encoding the range was planned against; it
+	// selects the reader OpenSegment builds. The zero value is FormatText.
+	Format Format
+	// Start and End delimit the byte range [Start, End). Start is always
+	// an edge boundary; End is the next segment's Start (or the end of the
+	// edge region).
 	Start, End int64
-	// Edges is the number of data lines in the range, counted with the
-	// parser's own shape test, so a Segment's Remaining is exact.
+	// Edges is the number of edges in the range — counted with the text
+	// parser's own shape test, or derived by record arithmetic for binary
+	// — so a segment's Remaining is exact.
 	Edges int64
 }
 
-// Plan splits the file at path into z byte ranges aligned to line
-// boundaries. The byte targets are size·i/z; each boundary snaps forward
+// Plan splits the text edge-list file at path into z byte ranges aligned
+// to line boundaries. (Format-agnostic callers use PlanFile, which
+// dispatches here for text and to PlanBinary's counting-free record
+// arithmetic for ADWB.) The byte targets are size·i/z; each boundary snaps forward
 // to the next line start, so a target that falls mid-line never splits an
 // edge, and a boundary is deferred past its target until the range it
 // closes holds at least one data line. The single pass also counts the
@@ -153,18 +160,43 @@ func fileSize(path string) (int64, error) {
 	return st.Size(), nil
 }
 
-// Segment streams the edges of one planned byte range: seek to Start, then
-// a read bounded at End. Ranges from the same Plan never overlap, so z
-// concurrent Segments cover the file exactly once. It implements Batcher
-// and the stream error contract exactly like File.
+// Segment streams the edges of one planned byte range of a text edge
+// list: seek to Start, then a read bounded at End. Ranges from the same
+// plan never overlap, so z concurrent segments cover the file exactly
+// once. It implements Batcher and the stream error contract exactly like
+// File.
 type Segment struct {
 	f *os.File
 	lineParser
 }
 
-// OpenSegment opens r's byte range as an edge stream. Remaining is exact
-// from the planner's count — no per-segment counting pass.
-func OpenSegment(r Range) (*Segment, error) {
+// OpenSegment opens r's byte range as an edge stream, dispatching on the
+// range's Format: text ranges get a line-parsing Segment, binary ranges a
+// fixed-record BinaryFile. Remaining is exact from the plan — no
+// per-segment counting pass either way.
+func OpenSegment(r Range) (FileStream, error) {
+	// Concrete results pass through an error check before entering the
+	// interface return, so a failed open yields a truly nil FileStream —
+	// never an interface wrapping a typed nil pointer.
+	switch r.Format {
+	case FormatText:
+		s, err := openTextSegment(r)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	case FormatBinary:
+		s, err := OpenBinarySegment(r)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("stream: segment range of %s has unknown format %v", r.Path, r.Format)
+	}
+}
+
+func openTextSegment(r Range) (*Segment, error) {
 	if r.Start < 0 || r.End < r.Start {
 		return nil, fmt.Errorf("stream: invalid segment range [%d,%d) of %s", r.Start, r.End, r.Path)
 	}
