@@ -98,6 +98,9 @@ var (
 	WithEpsilon = core.WithEpsilon
 	// WithMaxCandidates bounds the lazy-traversal candidate set.
 	WithMaxCandidates = core.WithMaxCandidates
+	// WithScoreWorkers shards window scoring across n workers (0 = auto).
+	// Any worker count produces edge-for-edge identical assignments.
+	WithScoreWorkers = core.WithScoreWorkers
 )
 
 // NewADWISE returns an ADWISE partitioner for k partitions.

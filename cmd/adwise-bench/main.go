@@ -8,6 +8,7 @@
 //	adwise-bench -exp fig7a -scale 0.2 -v
 //	adwise-bench -exp all -scale 0.1 > results.txt
 //	adwise-bench -exp ingest -json > BENCH_ingest.json
+//	adwise-bench -exp scoring -score-workers 8 -cpuprofile scoring.pprof
 package main
 
 import (
@@ -39,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 		verbose = fs.Bool("v", false, "print progress lines to stderr")
 		jsonOut = fs.Bool("json", false, "emit results as JSON instead of aligned text tables")
 		profile = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		workers = fs.Int("score-workers", 0, "window-scoring workers per ADWISE instance (0 = auto; pins the scoring-experiment sweep)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +63,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg.K = *k
 	cfg.Z = *z
 	cfg.Spread = *spread
+	cfg.ScoreWorkers = *workers
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}

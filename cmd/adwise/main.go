@@ -7,6 +7,7 @@
 //	adwise -in graph.txt -k 32 -algo adwise -latency 5s
 //	adwise -in graph.txt -k 32 -algo hdrf -out assignment.tsv
 //	adwise -in graph.txt -k 32 -z 8 -spread 4 -algo adwise -latency 5s
+//	adwise -in graph.txt -k 32 -algo adwise -window 4096 -score-workers 8
 //
 // With -z > 1 the input is partitioned by z parallel instances under the
 // spotlight optimization with the given spread, each streaming a disjoint
@@ -42,6 +43,7 @@ func run(args []string) error {
 		algo    = fs.String("algo", "adwise", "strategy: "+strings.Join(adwise.StrategyNames(), ", "))
 		latency = fs.Duration("latency", 0, "ADWISE latency preference L (0 = single-edge behaviour)")
 		window  = fs.Int("window", 0, "ADWISE fixed window size (overrides -latency adaptation)")
+		workers = fs.Int("score-workers", 0, "ADWISE window-scoring workers per instance (0 = auto: cores/z)")
 		z       = fs.Int("z", 1, "parallel partitioner instances")
 		spread  = fs.Int("spread", 0, "partitions per instance (default k/z)")
 		seed    = fs.Uint64("seed", 42, "hash/graph seed")
@@ -59,7 +61,7 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	a, err := partitionInput(*in, *algo, *k, *z, *spread, *seed, *latency, *window)
+	a, err := partitionInput(*in, *algo, *k, *z, *spread, *seed, *latency, *window, *workers)
 	if err != nil {
 		return err
 	}
@@ -89,8 +91,8 @@ func run(args []string) error {
 	return nil
 }
 
-func partitionInput(in, algo string, k, z, spread int, seed uint64, latency time.Duration, window int) (*adwise.Assignment, error) {
-	spec := adwise.StrategySpec{K: k, Seed: seed, Latency: latency, Window: window}
+func partitionInput(in, algo string, k, z, spread int, seed uint64, latency time.Duration, window, workers int) (*adwise.Assignment, error) {
+	spec := adwise.StrategySpec{K: k, Seed: seed, Latency: latency, Window: window, ScoreWorkers: workers}
 	if z > 1 {
 		if spread == 0 {
 			spread = k / z

@@ -54,6 +54,12 @@ type Config struct {
 	Cost engine.CostModel
 	// Workers bounds engine parallelism (0 = GOMAXPROCS).
 	Workers int
+	// ScoreWorkers pins the window-scoring worker count of window-class
+	// strategies in every experiment (0 = auto: divided among the Z
+	// instances). The scoring experiment sweeps worker counts unless this
+	// pins one — the -cpuprofile + -score-workers combination that
+	// validates where the scoring loop saturates.
+	ScoreWorkers int
 	// Progress, when non-nil, receives one line per completed step.
 	Progress io.Writer
 }

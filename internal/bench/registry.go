@@ -38,6 +38,7 @@ func Experiments() []Experiment {
 		{"ablation-window", "DESIGN §5.4", AblationWindow},
 		{"ablation-order", "DESIGN §3", AblationOrder},
 		{"ingest", "§III-D loading", Ingest},
+		{"scoring", "§III-B scoring", Scoring},
 	}
 }
 

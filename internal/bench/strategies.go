@@ -55,6 +55,9 @@ func (c Config) runStrategy(name string, edges []graph.Edge, spec runtime.Spec) 
 	if spec.Seed == 0 {
 		spec.Seed = c.Seed
 	}
+	if spec.ScoreWorkers == 0 {
+		spec.ScoreWorkers = c.ScoreWorkers
+	}
 	start := time.Now()
 	a, err := runtime.RunStrategySpotlight(name, edges, c.spotlightConfig(), spec)
 	if err != nil {

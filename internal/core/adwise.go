@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	gort "runtime"
 	"time"
 
 	"github.com/adwise-go/adwise/internal/clock"
@@ -39,6 +40,7 @@ type config struct {
 	maxCandidates int
 	lazy          bool  // lazy window traversal; eager rescans everything (ablation)
 	totalEdges    int64 // m hint when the stream cannot report it
+	scoreWorkers  int   // window-scoring worker shards; 0 = auto (GOMAXPROCS)
 }
 
 // Option configures an ADWISE partitioner.
@@ -130,6 +132,18 @@ func WithTotalEdgesHint(m int64) Option {
 	return func(c *config) { c.totalEdges = m }
 }
 
+// WithScoreWorkers sets the number of worker shards window scoring passes
+// (candidate rescores, secondary rescans, cached-score scans) run across.
+// 0 (the default) resolves to GOMAXPROCS at construction; 1 forces fully
+// serial scoring. Any worker count produces edge-for-edge identical
+// assignments — sharding uses fixed boundaries and a deterministic
+// shard-order reduction — so the knob trades only wall-clock for cores.
+// Under parallel loading, divide the machine's cores among the z
+// instances (internal/runtime does this automatically for auto values).
+func WithScoreWorkers(n int) Option {
+	return func(c *config) { c.scoreWorkers = n }
+}
+
 // Adwise is the ADWISE streaming partitioner. An instance carries the
 // vertex cache accumulated over one stream pass; create a fresh instance
 // per Run.
@@ -163,6 +177,15 @@ type RunStats struct {
 	MeanAssignScore float64
 	// Lazy-traversal counters.
 	Promotions, Demotions, Reassessments, SecondaryRescans int64
+	// ScoreWorkers is the resolved scoring worker count (≥ 1).
+	ScoreWorkers int
+	// ParallelScorePasses counts scoring passes that actually ran sharded
+	// on the worker pool (small passes run inline on the caller).
+	ParallelScorePasses int64
+	// WorkerScoreOps is the per-worker share of ScoreComputations done on
+	// the pool (index = worker id; worker 0 also runs the inline passes).
+	// Serial one-edge rescores are accounted to ScoreComputations only.
+	WorkerScoreOps []int64
 }
 
 // WindowChange is one adaptive window resize event.
@@ -213,6 +236,9 @@ func New(k int, opts ...Option) (*Adwise, error) {
 	if cfg.lambdaMin > cfg.lambdaMax {
 		return nil, fmt.Errorf("core: lambda bounds inverted [%v,%v]", cfg.lambdaMin, cfg.lambdaMax)
 	}
+	if cfg.scoreWorkers < 0 {
+		return nil, fmt.Errorf("core: score workers must be >= 0 (0 = auto), got %d", cfg.scoreWorkers)
+	}
 	parts := cfg.allowed
 	if len(parts) == 0 {
 		parts = make([]int, k)
@@ -227,12 +253,17 @@ func New(k int, opts ...Option) (*Adwise, error) {
 		// Eager traversal: every edge is a candidate, re-scored each pop.
 		maxCand = int(^uint(0) >> 1)
 	}
+	workers := cfg.scoreWorkers
+	if workers == 0 {
+		workers = gort.GOMAXPROCS(0)
+	}
+	pool := newScorePool(workers, k, len(parts))
 	return &Adwise{
 		cfg:    cfg,
 		parts:  parts,
 		cache:  cache,
 		scorer: sc,
-		win:    newWindow(sc, cfg.epsilon, maxCand, !cfg.lazy),
+		win:    newWindow(sc, pool, cfg.epsilon, maxCand, !cfg.lazy),
 	}, nil
 }
 
@@ -254,6 +285,9 @@ func (a *Adwise) Run(s stream.Stream) (*metrics.Assignment, error) {
 		return nil, fmt.Errorf("core: Adwise instance already ran; create a new instance per pass")
 	}
 	a.ran = true
+	// The score workers are started lazily by the first pass large enough
+	// to shard; a single-use instance tears them down when the pass ends.
+	defer a.win.pool.stop()
 
 	// The window refill draws one edge at a time; buffering batches the
 	// pulls from the underlying stream (file, chunk, …) and devirtualizes
@@ -362,8 +396,11 @@ func (a *Adwise) Run(s stream.Stream) (*metrics.Assignment, error) {
 
 	a.stats.FinalWindow = w
 	a.stats.PartitioningLatency = a.cfg.clk.Now().Sub(start)
-	a.stats.ScoreComputations = a.scorer.scoreOps
+	a.stats.ScoreComputations = a.scorer.prime.scoreOps + a.win.pool.totalOps()
 	a.stats.FinalLambda = a.scorer.lambda
+	a.stats.ScoreWorkers = a.win.pool.n
+	a.stats.ParallelScorePasses = a.win.pool.passes
+	a.stats.WorkerScoreOps = a.win.pool.workerOps()
 	if a.stats.Assignments > 0 {
 		a.stats.MeanAssignScore = totalScoreSum / float64(a.stats.Assignments)
 	}

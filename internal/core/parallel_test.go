@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/adwise-go/adwise/internal/gen"
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/stream"
+)
+
+// checkWindowInvariants verifies the structural window invariants:
+// set-slice/entry agreement, incident-list coverage, the Θ accumulator,
+// and the candidate cap.
+func checkWindowInvariants(t *testing.T, w *window) {
+	t.Helper()
+	live := make(map[*winEntry]bool, w.len())
+	for i, ent := range w.candidates {
+		if ent.kind != inCandidates {
+			t.Fatalf("candidates[%d] has kind %d", i, ent.kind)
+		}
+		if ent.pos != i {
+			t.Fatalf("candidates[%d].pos = %d", i, ent.pos)
+		}
+		live[ent] = true
+	}
+	for i, ent := range w.secondary {
+		if ent.kind != inSecondary {
+			t.Fatalf("secondary[%d] has kind %d", i, ent.kind)
+		}
+		if ent.pos != i {
+			t.Fatalf("secondary[%d].pos = %d", i, ent.pos)
+		}
+		live[ent] = true
+	}
+	if !w.eager && len(w.candidates) > w.maxCand {
+		t.Fatalf("candidate set %d exceeds cap %d", len(w.candidates), w.maxCand)
+	}
+
+	// Incident lists hold live entries only (remove compacts eagerly);
+	// every entry must be in its set, and every live entry must appear in
+	// the incident list of both endpoints.
+	inList := make(map[*winEntry]map[graph.VertexID]bool)
+	for v, list := range w.incident {
+		for _, ent := range list {
+			if ent.kind == removed {
+				t.Fatalf("incident[%v] holds removed entry %v: remove must compact endpoint lists", v, ent.edge)
+			}
+			if !live[ent] {
+				t.Fatalf("incident[%v] holds non-removed entry %v absent from both sets", v, ent.edge)
+			}
+			if inList[ent] == nil {
+				inList[ent] = make(map[graph.VertexID]bool, 2)
+			}
+			inList[ent][v] = true
+		}
+	}
+	for ent := range live {
+		if !inList[ent][ent.edge.Src] {
+			t.Fatalf("live entry %v missing from incident[%v]", ent.edge, ent.edge.Src)
+		}
+		if ent.edge.Dst != ent.edge.Src && !inList[ent][ent.edge.Dst] {
+			t.Fatalf("live entry %v missing from incident[%v]", ent.edge, ent.edge.Dst)
+		}
+	}
+
+	if got, want := w.scoreSum, exactScoreSum(w); math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+		t.Fatalf("scoreSum %v inconsistent with live entries Σ %v", got, want)
+	}
+}
+
+// TestWindowInvariantsRandomized drives the window through a randomized
+// add/pop/reassess workload, checking the structural invariants
+// throughout — in both lazy and eager mode, serial and sharded.
+func TestWindowInvariantsRandomized(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		eager   bool
+		workers int
+	}{
+		{"lazy/serial", false, 1},
+		{"lazy/workers=4", false, 4},
+		{"eager/serial", true, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, _ := newTestScorer(8, 1.0, true, 10_000)
+			maxCand := 32
+			if tc.eager {
+				maxCand = int(^uint(0) >> 1)
+			}
+			pool := newScorePool(tc.workers, 8, len(sc.parts))
+			defer pool.stop()
+			w := newWindow(sc, pool, 0.1, maxCand, tc.eager)
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 4000; i++ {
+				switch r := rng.Float64(); {
+				case r < 0.55 || w.len() == 0:
+					w.add(graph.Edge{Src: graph.VertexID(rng.Intn(256)), Dst: graph.VertexID(rng.Intn(256))})
+				case r < 0.9:
+					e, p, _, ok := w.popBest()
+					if !ok {
+						t.Fatal("popBest failed on non-empty window")
+					}
+					newSrc, newDst := sc.commit(e, p)
+					if !tc.eager {
+						if newSrc {
+							w.reassess(e.Src)
+						}
+						if newDst && e.Dst != e.Src {
+							w.reassess(e.Dst)
+						}
+					}
+				default:
+					w.reassess(graph.VertexID(rng.Intn(256)))
+				}
+				if i%50 == 0 {
+					checkWindowInvariants(t, w)
+				}
+			}
+			checkWindowInvariants(t, w)
+		})
+	}
+}
+
+// equivalenceGraph is the ≥100k-edge stream of the serial ≡ parallel
+// contract test.
+func equivalenceGraph(t testing.TB) []graph.Edge {
+	t.Helper()
+	g, err := gen.RMAT(17, 100_000, 0.57, 0.19, 0.19, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Edges
+}
+
+// TestParallelScoringMatchesSerial is the determinism contract: sharding
+// window scoring across any worker count must produce edge-for-edge
+// identical assignments to the serial run — same edges, same order, same
+// partitions — on a 100k-edge skewed graph, in lazy and eager mode.
+// Run under -race this also exercises the pool for data races.
+func TestParallelScoringMatchesSerial(t *testing.T) {
+	edges := equivalenceGraph(t)
+	run := func(workers int, opts ...Option) *metrics.Assignment {
+		t.Helper()
+		all := append([]Option{
+			WithInitialWindow(1024),
+			WithFixedWindow(),
+			WithMaxCandidates(512),
+			WithScoreWorkers(workers),
+		}, opts...)
+		ad, err := New(8, all...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ad.Run(stream.FromEdges(edges))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ad.Stats().ScoreWorkers; got != workers {
+			t.Fatalf("resolved ScoreWorkers = %d, want %d", got, workers)
+		}
+		return a
+	}
+
+	serial := run(1)
+	if serial.Len() != len(edges) {
+		t.Fatalf("serial run assigned %d of %d edges", serial.Len(), len(edges))
+	}
+	for _, workers := range []int{2, 8} {
+		parallel := run(workers)
+		if parallel.Len() != serial.Len() {
+			t.Fatalf("workers=%d assigned %d edges, serial %d", workers, parallel.Len(), serial.Len())
+		}
+		for i := range serial.Edges {
+			if serial.Edges[i] != parallel.Edges[i] || serial.Parts[i] != parallel.Parts[i] {
+				t.Fatalf("workers=%d diverged at assignment %d: serial %v→%d, parallel %v→%d",
+					workers, i, serial.Edges[i], serial.Parts[i], parallel.Edges[i], parallel.Parts[i])
+			}
+		}
+	}
+
+	// Eager mode rescores the whole window every pop — the heaviest pool
+	// user; a smaller prefix keeps the quadratic pass affordable.
+	short := edges[:10_000]
+	eSerial, eParallel := runEager(t, short, 1), runEager(t, short, 4)
+	for i := range eSerial.Edges {
+		if eSerial.Edges[i] != eParallel.Edges[i] || eSerial.Parts[i] != eParallel.Parts[i] {
+			t.Fatalf("eager workers=4 diverged at assignment %d", i)
+		}
+	}
+}
+
+func runEager(t *testing.T, edges []graph.Edge, workers int) *metrics.Assignment {
+	t.Helper()
+	ad, err := New(8,
+		WithInitialWindow(256),
+		WithFixedWindow(),
+		WithEagerTraversal(),
+		WithScoreWorkers(workers),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ad.Run(stream.FromEdges(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestWorkerStatsFolded verifies the per-worker accounting: sharded
+// passes happen, their ops land in the per-worker counters, and the
+// total ScoreComputations includes both the pool's and the serial ops.
+func TestWorkerStatsFolded(t *testing.T) {
+	edges := equivalenceGraph(t)[:20_000]
+	ad, err := New(8,
+		WithInitialWindow(256),
+		WithFixedWindow(),
+		WithEagerTraversal(), // every pop is a full-window sharded rescore
+		WithScoreWorkers(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ad.Run(stream.FromEdges(edges)); err != nil {
+		t.Fatal(err)
+	}
+	st := ad.Stats()
+	if st.ScoreWorkers != 2 {
+		t.Errorf("ScoreWorkers = %d, want 2", st.ScoreWorkers)
+	}
+	if st.ParallelScorePasses == 0 {
+		t.Error("ParallelScorePasses = 0: eager 256-window pops should shard")
+	}
+	if len(st.WorkerScoreOps) != 2 {
+		t.Fatalf("WorkerScoreOps has %d workers, want 2", len(st.WorkerScoreOps))
+	}
+	var poolOps int64
+	for i, ops := range st.WorkerScoreOps {
+		if ops == 0 {
+			t.Errorf("worker %d did no scoring work across %d sharded passes", i, st.ParallelScorePasses)
+		}
+		poolOps += ops
+	}
+	if st.ScoreComputations < poolOps {
+		t.Errorf("ScoreComputations %d below pool ops %d: serial ops not folded", st.ScoreComputations, poolOps)
+	}
+}
+
+// TestTopTwoCachedShardedMatchesSerial exercises the deterministic
+// reduction directly: the sharded top-two merge must reproduce the serial
+// left-to-right scan — including first-wins tie-breaks — on adversarial
+// score layouts larger than the scan grain.
+func TestTopTwoCachedShardedMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := scanGrain + 1234
+	entries := make([]*winEntry, n)
+	for i := range entries {
+		// Coarse quantisation forces plenty of exact ties, including for
+		// the maximum, so the insertion-order tie-break is really tested.
+		entries[i] = &winEntry{score: float64(rng.Intn(64))}
+	}
+	pool := newScorePool(4, 2, 2)
+	defer pool.stop()
+
+	for round := 0; round < 50; round++ {
+		serialTop := scanTopTwo(entries, 0, len(entries))
+		gotIdx, gotSecond := pool.topTwoCached(entries)
+		if gotIdx != serialTop.bestIdx || gotSecond != serialTop.second {
+			t.Fatalf("round %d: sharded (idx=%d second=%v) != serial (idx=%d second=%v)",
+				round, gotIdx, gotSecond, serialTop.bestIdx, serialTop.second)
+		}
+		// Perturb for the next round.
+		for i := 0; i < 100; i++ {
+			entries[rng.Intn(n)].score = float64(rng.Intn(64))
+		}
+	}
+	if pool.passes == 0 {
+		t.Fatal("sharded scan never engaged the pool")
+	}
+}
+
+// TestForEachShardsTile verifies the fixed shard boundaries: every index
+// covered exactly once, shard assignment a pure function of (items, n).
+func TestForEachShardsTile(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8} {
+		pool := newScorePool(n, 2, 2)
+		for _, items := range []int{0, 1, 5, 63, 64, 1000, 4096} {
+			covered := make([]int32, items)
+			pool.forEach(items, 1, func(worker, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					covered[i]++
+				}
+			})
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("n=%d items=%d: index %d covered %d times", n, items, i, c)
+				}
+			}
+		}
+		pool.stop()
+	}
+}

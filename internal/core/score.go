@@ -16,9 +16,125 @@ import (
 // with the adaptive balancing score B and weight λ (Eq. 3, 4), the
 // degree-aware replication score R (Eq. 5) and the clustering score CS
 // (Eq. 6).
+//
+// Scoring is split into three pieces so window passes can run on a worker
+// pool (see scorepool.go):
+//
+//   - scoreView is the immutable per-pass snapshot of everything a score
+//     depends on besides the edge itself: λ, the partition-size extrema,
+//     the maximum degree, and a read-only handle on the vertex cache.
+//     Within one scoring pass no assignment is committed, so the snapshot
+//     is exact — and because it is never written during the pass, any
+//     number of workers can score against it concurrently.
+//   - scoreScratch is the per-worker mutable state: the clustering-score
+//     counters, the per-partition score buffer, the neighbourhood
+//     collection buffers, and the worker's score-op counter. Each worker
+//     owns one; nothing in a scratch is shared.
+//   - scorer owns the cache, the adaptive λ, and a "prime" scratch for the
+//     serial paths (add, reassess, single-leader rescores), and mints
+//     scoreViews at pass boundaries.
+
+// scoreScratch is the mutable per-worker scoring state. One scratch is
+// owned by exactly one goroutine at a time; the pool hands scratch i to
+// shard-worker i and the scorer's prime scratch serves every serial path.
+type scoreScratch struct {
+	csCounts        []float64 // per-global-partition clustering-score counters
+	scores          []float64 // per-allowed-partition scores
+	neighborScratch []graph.VertexID
+	seenScratch     map[graph.VertexID]struct{}
+	// scoreOps counts edge score evaluations performed with this scratch
+	// (each evaluation covers all allowed partitions).
+	scoreOps int64
+}
+
+func newScoreScratch(k, nparts int) *scoreScratch {
+	return &scoreScratch{
+		csCounts:    make([]float64, k),
+		scores:      make([]float64, nparts),
+		seenScratch: make(map[graph.VertexID]struct{}, 64),
+	}
+}
+
+// scoreView is the immutable scoring snapshot for one window pass. All
+// fields are fixed at construction (scorer.view); scoreEdge only reads
+// them plus the cache, which no one mutates during a pass — commits happen
+// strictly between passes. This is what makes a scoring pass safe to shard
+// across workers and, independently, what pins the pass semantics: every
+// edge scored in one pass sees the same λ, sizes, and degrees, regardless
+// of evaluation order.
+type scoreView struct {
+	cache *vcache.Cache // read-only during the pass
+	parts []int
+
+	lambda     float64
+	maxSize    int64
+	sizeSpread float64 // (maxSize-minSize) + balanceEps
+	maxDeg     float64
+	clustering bool
+}
+
+// scoreEdge computes g(e,p) for every allowed partition and returns the
+// best score and its (global) partition id. neighbors is the window
+// neighbourhood N(u)∪N(v) of the edge (excluding the endpoints
+// themselves); it drives the clustering score of Eq. 6. All mutable state
+// lives in scr, so concurrent calls with distinct scratches are safe.
+//
+// The returned slice aliases scr.scores and is only valid until the next
+// scoreEdge call with the same scratch.
+func (v *scoreView) scoreEdge(e graph.Edge, neighbors []graph.VertexID, scr *scoreScratch) (scores []float64, best float64, bestPart int) {
+	scr.scoreOps++
+
+	// Degree-aware replication score (Eq. 5): Ψu = deg(u)/(2·maxDegree),
+	// so already-replicated low-degree endpoints pull harder (2−Ψ larger)
+	// than high-degree ones — replicating high-degree vertices first.
+	degU, ru := v.cache.Lookup(e.Src)
+	degV, rv := v.cache.Lookup(e.Dst)
+	psiU := float64(degU) / (2 * v.maxDeg)
+	psiV := float64(degV) / (2 * v.maxDeg)
+
+	// Clustering score (Eq. 6): per-partition count of window neighbours
+	// already replicated there, normalised by |N(u)∪N(v)|.
+	useCS := v.clustering && len(neighbors) > 0
+	if useCS {
+		for _, p := range v.parts {
+			scr.csCounts[p] = 0
+		}
+		for _, n := range neighbors {
+			v.cache.Replicas(n).ForEach(func(p int) bool {
+				scr.csCounts[p]++
+				return true
+			})
+		}
+	}
+
+	invN := 0.0
+	if useCS {
+		invN = 1 / float64(len(neighbors))
+	}
+	best, bestPart = -1, v.parts[0]
+	for i, p := range v.parts {
+		bal := float64(v.maxSize-v.cache.Size(p)) / v.sizeSpread
+		g := v.lambda * bal
+		if ru.Contains(p) {
+			g += 2 - psiU
+		}
+		if e.Dst != e.Src && rv.Contains(p) {
+			g += 2 - psiV
+		}
+		if useCS {
+			g += scr.csCounts[p] * invN
+		}
+		scr.scores[i] = g
+		if g > best {
+			best, bestPart = g, p
+		}
+	}
+	return scr.scores, best, bestPart
+}
 
 // scorer evaluates g(e,p) against a vertex cache and maintains the
-// adaptive balancing weight λ.
+// adaptive balancing weight λ. It is the pass-boundary owner of scoring:
+// views are minted per pass, and the prime scratch backs the serial paths.
 type scorer struct {
 	cache *vcache.Cache
 	parts []int // allowed partitions (spotlight spread)
@@ -31,10 +147,9 @@ type scorer struct {
 
 	totalEdges int64 // m in Eq. 4; <= 0 means unknown
 
-	// scratch buffers, reused across calls
-	csCounts []float64 // per-partition clustering-score counters
-	scores   []float64 // per-allowed-partition scores
-	scoreOps int64     // number of edge score evaluations (each covers all partitions)
+	// prime is the scratch of the serial scoring paths (window add,
+	// reassess, lazy-leader rescores). Worker scratches live in scorePool.
+	prime *scoreScratch
 }
 
 func newScorer(cache *vcache.Cache, parts []int, cfg config) *scorer {
@@ -47,75 +162,37 @@ func newScorer(cache *vcache.Cache, parts []int, cfg config) *scorer {
 		balanceEps: cfg.balanceEps,
 		clustering: cfg.clustering,
 		totalEdges: cfg.totalEdges,
-		csCounts:   make([]float64, cache.K()),
-		scores:     make([]float64, len(parts)),
+		prime:      newScoreScratch(cache.K(), len(parts)),
 	}
 }
 
-// scoreEdge computes g(e,p) for every allowed partition and returns the
-// best score and its (global) partition id. neighbors is the window
-// neighbourhood N(u)∪N(v) of the edge (excluding the endpoints
-// themselves); it drives the clustering score of Eq. 6.
-//
-// The returned slice aliases internal scratch and is only valid until the
-// next scoreEdge call.
-func (s *scorer) scoreEdge(e graph.Edge, neighbors []graph.VertexID) (scores []float64, best float64, bestPart int) {
-	s.scoreOps++
+// view snapshots the scoring inputs for one window pass. Cheap: one
+// min/max sweep over the allowed partition sizes.
+func (s *scorer) view() scoreView {
 	minSize, maxSize := s.cache.MinMaxSizeOf(s.parts)
-	sizeSpread := float64(maxSize-minSize) + s.balanceEps
-
-	// Degree-aware replication score (Eq. 5): Ψu = deg(u)/(2·maxDegree),
-	// so already-replicated low-degree endpoints pull harder (2−Ψ larger)
-	// than high-degree ones — replicating high-degree vertices first.
-	maxDeg := float64(s.cache.MaxDegree())
-	degU, ru := s.cache.Lookup(e.Src)
-	degV, rv := s.cache.Lookup(e.Dst)
-	psiU := float64(degU) / (2 * maxDeg)
-	psiV := float64(degV) / (2 * maxDeg)
-
-	// Clustering score (Eq. 6): per-partition count of window neighbours
-	// already replicated there, normalised by |N(u)∪N(v)|.
-	useCS := s.clustering && len(neighbors) > 0
-	if useCS {
-		for _, p := range s.parts {
-			s.csCounts[p] = 0
-		}
-		for _, n := range neighbors {
-			s.cache.Replicas(n).ForEach(func(p int) bool {
-				s.csCounts[p]++
-				return true
-			})
-		}
+	return scoreView{
+		cache:      s.cache,
+		parts:      s.parts,
+		lambda:     s.lambda,
+		maxSize:    maxSize,
+		sizeSpread: float64(maxSize-minSize) + s.balanceEps,
+		maxDeg:     float64(s.cache.MaxDegree()),
+		clustering: s.clustering,
 	}
+}
 
-	invN := 0.0
-	if useCS {
-		invN = 1 / float64(len(neighbors))
-	}
-	best, bestPart = -1, s.parts[0]
-	for i, p := range s.parts {
-		bal := float64(maxSize-s.cache.Size(p)) / sizeSpread
-		g := s.lambda * bal
-		if ru.Contains(p) {
-			g += 2 - psiU
-		}
-		if e.Dst != e.Src && rv.Contains(p) {
-			g += 2 - psiV
-		}
-		if useCS {
-			g += s.csCounts[p] * invN
-		}
-		s.scores[i] = g
-		if g > best {
-			best, bestPart = g, p
-		}
-	}
-	return s.scores, best, bestPart
+// scoreEdge scores one edge against a fresh single-call view using the
+// prime scratch — the convenience form for the serial one-edge paths and
+// tests. Passes that score many edges build one view and call it directly.
+func (s *scorer) scoreEdge(e graph.Edge, neighbors []graph.VertexID) (scores []float64, best float64, bestPart int) {
+	v := s.view()
+	return v.scoreEdge(e, neighbors, s.prime)
 }
 
 // commit records the assignment of e to partition p in the vertex cache
 // and performs the per-assignment λ update of Eq. 4. It reports which
 // endpoints gained a new replica (these drive lazy reassessment, §III-B).
+// A commit is a pass boundary: scoreViews minted before it are stale.
 func (s *scorer) commit(e graph.Edge, p int) (newSrc, newDst bool) {
 	newSrc, newDst = s.cache.Assign(e, p)
 

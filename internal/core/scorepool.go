@@ -1,0 +1,233 @@
+package core
+
+import (
+	"sync"
+)
+
+// scorePool shards window scoring passes across a fixed set of workers.
+//
+// Determinism contract: a pass result must be byte-for-byte independent of
+// the worker count and of whether the pool ran a pass in parallel at all.
+// The pool guarantees this by construction —
+//
+//   - shard boundaries are a fixed function of (items, n): shard i covers
+//     [i·items/n, (i+1)·items/n), so the same items always land in the
+//     same shard;
+//   - workers only compute: they write disjoint result slots and never
+//     touch window state, so evaluation order cannot leak into results
+//     (scoreEdge is a pure function of the per-pass scoreView and the
+//     cache, which nothing mutates during a pass);
+//   - every reduction over shard results (argmax, top-two) merges in shard
+//     order with strictly-greater comparisons, which reproduces exactly
+//     the first-wins-ties semantics of a single left-to-right scan — the
+//     insertion-order tie-break of the serial code.
+//
+// Mutations (updateScore, promote/demote, set surgery) happen strictly
+// after the parallel phase, serially, in snapshot order. The pool is
+// therefore an execution detail: workers ∈ {1, 2, …} produce edge-for-edge
+// identical assignments.
+//
+// Workers are started lazily on the first pass large enough to shard and
+// torn down by stop() (deferred in Adwise.Run). A pool with n == 1 never
+// starts goroutines and runs every pass inline.
+type scorePool struct {
+	n       int
+	scratch []*scoreScratch // one per worker; scratch[0] serves the caller's shard
+
+	tasks   chan func()
+	started bool
+
+	// passes counts passes that actually ran on the workers (≥2 shards).
+	passes int64
+}
+
+// Grain thresholds: below these sizes the dispatch overhead exceeds the
+// work and a pass runs inline on the caller (identical results — see the
+// determinism contract above).
+const (
+	// scoreGrainPerWorker is the minimum number of scoreEdge evaluations
+	// per shard worth dispatching: one evaluation costs O(k + |N|) cache
+	// probes, a few hundred ns at least.
+	scoreGrainPerWorker = 32
+	// scanGrain is the minimum candidate count worth sharding a cached-
+	// score scan over: the scan is a float compare per entry, so only very
+	// large windows amortise the handoff.
+	scanGrain = 1 << 14
+)
+
+func newScorePool(n, k, nparts int) *scorePool {
+	if n < 1 {
+		n = 1
+	}
+	p := &scorePool{n: n, scratch: make([]*scoreScratch, n)}
+	for i := range p.scratch {
+		p.scratch[i] = newScoreScratch(k, nparts)
+	}
+	return p
+}
+
+// start spawns the n-1 helper goroutines (the caller always works shard 0
+// inline). Idempotent.
+func (p *scorePool) start() {
+	if p.started || p.n <= 1 {
+		return
+	}
+	p.started = true
+	p.tasks = make(chan func(), p.n-1)
+	for i := 1; i < p.n; i++ {
+		go func() {
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+}
+
+// stop tears the helper goroutines down. Idempotent; the pool can not be
+// restarted (Adwise instances are single-Run).
+func (p *scorePool) stop() {
+	if p == nil || !p.started {
+		return
+	}
+	p.started = false
+	close(p.tasks)
+}
+
+// shard returns the fixed boundaries of shard i over items elements.
+func (p *scorePool) shard(i, items int) (lo, hi int) {
+	return i * items / p.n, (i + 1) * items / p.n
+}
+
+// forEach runs fn over [0, items) split into the pool's fixed shards,
+// handing each shard its worker id (the index of the scratch it owns).
+// Passes smaller than minPerWorker·n run inline on the caller with worker
+// id 0 — by the determinism contract the result is identical either way.
+// It reports whether the pass actually ran on the workers.
+func (p *scorePool) forEach(items, minPerWorker int, fn func(worker, lo, hi int)) bool {
+	if p == nil || p.n <= 1 || items < minPerWorker*p.n {
+		fn(0, 0, items)
+		return false
+	}
+	p.start()
+	p.passes++
+	var wg sync.WaitGroup
+	for i := 1; i < p.n; i++ {
+		lo, hi := p.shard(i, items)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		worker := i
+		p.tasks <- func() {
+			defer wg.Done()
+			fn(worker, lo, hi)
+		}
+	}
+	lo, hi := p.shard(0, items)
+	fn(0, lo, hi)
+	wg.Wait()
+	return true
+}
+
+// workerOps returns the per-worker score-op counters (index = worker id).
+// Worker 0's inline-pass ops are included; the scorer's prime scratch is
+// accounted separately.
+func (p *scorePool) workerOps() []int64 {
+	if p == nil {
+		return nil
+	}
+	ops := make([]int64, len(p.scratch))
+	for i, s := range p.scratch {
+		ops[i] = s.scoreOps
+	}
+	return ops
+}
+
+// totalOps sums the scoring work done on the pool's scratches.
+func (p *scorePool) totalOps() int64 {
+	var sum int64
+	if p == nil {
+		return 0
+	}
+	for _, s := range p.scratch {
+		sum += s.scoreOps
+	}
+	return sum
+}
+
+// shardTop is one shard's cached-score scan result.
+type shardTop struct {
+	bestIdx   int     // index of the shard's best entry, -1 if the shard was empty
+	bestScore float64 // cached score at bestIdx
+	second    float64 // best runner-up cached score within the shard (0 floor)
+}
+
+// topTwoCached scans entries' cached scores for the argmax and the
+// runner-up score — the lazy-selection scan of §III-B — sharded over the
+// pool when the window is large enough. The merge walks shards in order
+// with strictly-greater comparisons, so the result (including the
+// earliest-index tie-break) is exactly that of one serial left-to-right
+// scan; the runner-up keeps the serial code's 0 floor (scores are
+// non-negative).
+func (p *scorePool) topTwoCached(entries []*winEntry) (bestIdx int, second float64) {
+	if len(entries) == 0 {
+		return -1, 0
+	}
+	n := 1
+	if p != nil && p.n > 1 && len(entries) >= scanGrain {
+		n = p.n
+	}
+	if n == 1 {
+		top := scanTopTwo(entries, 0, len(entries))
+		return top.bestIdx, top.second
+	}
+	tops := make([]shardTop, n)
+	p.forEach(len(entries), scanGrain/p.n, func(worker, lo, hi int) {
+		tops[worker] = scanTopTwo(entries, lo, hi)
+	})
+	merged := shardTop{bestIdx: -1}
+	for _, t := range tops {
+		if t.bestIdx < 0 {
+			continue
+		}
+		if merged.bestIdx < 0 {
+			merged = t
+			continue
+		}
+		if t.bestScore > merged.bestScore {
+			// The old leader becomes the runner-up candidate; the new
+			// shard's own runner-up competes too.
+			second := merged.bestScore
+			if t.second > second {
+				second = t.second
+			}
+			merged = shardTop{bestIdx: t.bestIdx, bestScore: t.bestScore, second: second}
+		} else {
+			// t.bestScore ≤ leader: it is the shard's only candidate for
+			// the global runner-up (its own runner-up is no larger).
+			if t.bestScore > merged.second {
+				merged.second = t.bestScore
+			}
+		}
+	}
+	return merged.bestIdx, merged.second
+}
+
+// scanTopTwo is the serial scan kernel over entries[lo:hi]: first-wins
+// argmax on strictly-greater, runner-up floored at 0 (all scores are
+// non-negative), matching the historical selectLazy scan semantics.
+func scanTopTwo(entries []*winEntry, lo, hi int) shardTop {
+	if lo >= hi {
+		return shardTop{bestIdx: -1}
+	}
+	top := shardTop{bestIdx: lo, bestScore: entries[lo].score}
+	for i := lo + 1; i < hi; i++ {
+		if s := entries[i].score; s > top.bestScore {
+			top.second = top.bestScore
+			top.bestIdx, top.bestScore = i, s
+		} else if s > top.second {
+			top.second = s
+		}
+	}
+	return top
+}

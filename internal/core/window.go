@@ -11,6 +11,31 @@ import (
 //
 // The score threshold Θ = g_avg + ε tracks the mean cached score of window
 // edges, so only better-than-average edges become candidates.
+//
+// # The Θ snapshot rule
+//
+// Every scoring pass — add classification, selectLazy, rescoreCandidates,
+// rescanSecondary, reassess — snapshots Θ exactly once at pass entry and
+// compares every promotion/demotion decision of the pass against that
+// snapshot. updateScore mutates scoreSum mid-pass, but the drifting live
+// Θ is never consulted until the next pass begins. This makes the
+// decisions of a pass a pure function of its entry state (and hence
+// independent of the order entries are evaluated in), which is both the
+// correctness rule the serial code needs — historically selectLazy read
+// Θ live per retry, so demotions depended on iteration order — and the
+// precondition for sharding a pass across score workers.
+//
+// # Parallel scoring passes
+//
+// The heavy passes (rescoreCandidates, rescanSecondary, and the cached-
+// score scans of lazy selection) run on a scorePool in two phases: a
+// parallel compute phase scores a snapshot of the set into a results
+// array (workers share nothing — per-worker scratches, an immutable
+// scoreView, disjoint result slots), then a serial apply phase walks the
+// snapshot in order, refreshing caches and promoting/demoting against
+// the pass's Θ snapshot. Fixed shard boundaries plus shard-order argmax
+// merges (see scorepool.go) make the assignment sequence edge-for-edge
+// identical for any worker count.
 
 type setKind uint8
 
@@ -28,14 +53,24 @@ type winEntry struct {
 	pos   int // index within its set slice, for O(1) swap-removal
 }
 
+// entryScore is one pass result slot: the fresh score and argmax partition
+// of the snapshot entry at the same index.
+type entryScore struct {
+	score float64
+	part  int
+}
+
 type window struct {
-	sc *scorer
+	sc   *scorer
+	pool *scorePool
 
 	candidates []*winEntry
 	secondary  []*winEntry
 	// incident maps a vertex to the window entries of its incident edges.
-	// Entries are removed lazily: slices may hold removed entries that are
-	// compacted during iteration.
+	// remove compacts the popped entry's two endpoint lists immediately —
+	// removal is the only source of dead entries — so between pops the
+	// lists hold live entries only and scoring passes never re-walk
+	// garbage.
 	incident map[graph.VertexID][]*winEntry
 
 	scoreSum float64 // Σ cached scores over live entries (for Θ)
@@ -46,27 +81,30 @@ type window struct {
 	// paper's §III-B improves on. Used by the lazy-vs-eager ablation.
 	eager bool
 
-	neighborScratch []graph.VertexID
-	seenScratch     map[graph.VertexID]struct{}
+	// Reusable pass buffers: the set snapshot walked by the apply phase
+	// and the parallel compute phase's result slots.
+	entSnap []*winEntry
+	scored  []entryScore
 
 	// statistics
 	promotions, demotions, reassessments, rescans int64
 }
 
-func newWindow(sc *scorer, epsilon float64, maxCand int, eager bool) *window {
+func newWindow(sc *scorer, pool *scorePool, epsilon float64, maxCand int, eager bool) *window {
 	return &window{
-		sc:          sc,
-		incident:    make(map[graph.VertexID][]*winEntry, 256),
-		epsilon:     epsilon,
-		maxCand:     maxCand,
-		eager:       eager,
-		seenScratch: make(map[graph.VertexID]struct{}, 64),
+		sc:       sc,
+		pool:     pool,
+		incident: make(map[graph.VertexID][]*winEntry, 256),
+		epsilon:  epsilon,
+		maxCand:  maxCand,
+		eager:    eager,
 	}
 }
 
 func (w *window) len() int { return len(w.candidates) + len(w.secondary) }
 
 // theta returns the candidate threshold Θ = g_avg + ε over live entries.
+// Passes snapshot it once at entry (see the Θ snapshot rule above).
 func (w *window) theta() float64 {
 	n := w.len()
 	if n == 0 {
@@ -78,31 +116,45 @@ func (w *window) theta() float64 {
 // neighbors collects the window neighbourhood N(u)∪N(v) of e: the distinct
 // other-endpoints of live window edges incident to e's endpoints,
 // excluding u and v themselves. Used by the clustering score (Eq. 6); the
-// paper computes N only from window edges for scalability.
+// paper computes N only from window edges for scalability. Serial form
+// over the prime scratch; scoring passes use neighborsInto with
+// per-worker scratches.
 func (w *window) neighbors(e graph.Edge) []graph.VertexID {
-	w.neighborScratch = w.neighborScratch[:0]
-	clear(w.seenScratch)
-	w.seenScratch[e.Src] = struct{}{}
-	w.seenScratch[e.Dst] = struct{}{}
+	return w.neighborsInto(e, w.sc.prime)
+}
+
+// neighborsInto is the read-only neighbourhood collection: it walks the
+// incident lists (live-only between pops; the removed check is defensive)
+// touching only the given scratch — safe for concurrent calls with
+// distinct scratches while no one mutates the window (the compute phase
+// of a pass). The returned slice aliases scr.neighborScratch.
+func (w *window) neighborsInto(e graph.Edge, scr *scoreScratch) []graph.VertexID {
+	scr.neighborScratch = scr.neighborScratch[:0]
+	clear(scr.seenScratch)
+	scr.seenScratch[e.Src] = struct{}{}
+	scr.seenScratch[e.Dst] = struct{}{}
 	collect := func(v graph.VertexID) {
-		for _, ent := range w.iterIncident(v) {
-			n := ent.edge.Other(v)
-			if _, dup := w.seenScratch[n]; dup {
+		for _, ent := range w.incident[v] {
+			if ent.kind == removed {
 				continue
 			}
-			w.seenScratch[n] = struct{}{}
-			w.neighborScratch = append(w.neighborScratch, n)
+			n := ent.edge.Other(v)
+			if _, dup := scr.seenScratch[n]; dup {
+				continue
+			}
+			scr.seenScratch[n] = struct{}{}
+			scr.neighborScratch = append(scr.neighborScratch, n)
 		}
 	}
 	collect(e.Src)
 	if e.Dst != e.Src {
 		collect(e.Dst)
 	}
-	return w.neighborScratch
+	return scr.neighborScratch
 }
 
 // iterIncident returns the live entries incident to v, compacting removed
-// entries in place.
+// entries in place. Serial paths only — it mutates the incident map.
 func (w *window) iterIncident(v graph.VertexID) []*winEntry {
 	list, ok := w.incident[v]
 	if !ok {
@@ -151,8 +203,8 @@ func (w *window) pushSecondary(ent *winEntry) {
 	w.secondary = append(w.secondary, ent)
 }
 
-// detach removes ent from its current set slice (but not from incident
-// lists — those are compacted lazily).
+// detach removes ent from its current set slice (incident lists are
+// untouched: a detached entry is still live, just changing sets).
 func (w *window) detach(ent *winEntry) {
 	var set *[]*winEntry
 	switch ent.kind {
@@ -170,11 +222,18 @@ func (w *window) detach(ent *winEntry) {
 	*set = s[:last]
 }
 
-// remove detaches ent and marks it dead.
+// remove detaches ent and marks it dead, compacting its two endpoint
+// incident lists on the spot: removal is the only source of dead list
+// entries, so eager compaction here keeps every later walk — including
+// the sharded compute phases — free of removed entries.
 func (w *window) remove(ent *winEntry) {
 	w.detach(ent)
 	ent.kind = removed
 	w.scoreSum -= ent.score
+	w.iterIncident(ent.edge.Src)
+	if ent.edge.Dst != ent.edge.Src {
+		w.iterIncident(ent.edge.Dst)
+	}
 }
 
 // updateScore refreshes ent's cached score in place, keeping scoreSum
@@ -182,6 +241,50 @@ func (w *window) remove(ent *winEntry) {
 func (w *window) updateScore(ent *winEntry, score float64, part int) {
 	w.scoreSum += score - ent.score
 	ent.score, ent.part = score, part
+}
+
+// recomputeScoreSum replaces the incrementally maintained scoreSum with
+// the exact Σ of live cached scores. The incremental form accumulates one
+// floating-point rounding per updateScore over millions of operations;
+// re-summing at every secondary rescan bounds the drift of Θ.
+func (w *window) recomputeScoreSum() {
+	var sum float64
+	for _, ent := range w.candidates {
+		sum += ent.score
+	}
+	for _, ent := range w.secondary {
+		sum += ent.score
+	}
+	w.scoreSum = sum
+}
+
+// snapshotSet copies a set slice into the reusable pass snapshot buffer,
+// sizing the results buffer to match. The apply phase walks this snapshot
+// in order while promote/demote surgery perturbs the live slice.
+func (w *window) snapshotSet(set []*winEntry) ([]*winEntry, []entryScore) {
+	w.entSnap = append(w.entSnap[:0], set...)
+	if cap(w.scored) < len(set) {
+		w.scored = make([]entryScore, len(set))
+	}
+	w.scored = w.scored[:len(set)]
+	return w.entSnap, w.scored
+}
+
+// scoreAll is the parallel compute phase: score every snapshot entry
+// against the pass view into its result slot. Workers write disjoint
+// slots and read window state nobody mutates during the pass.
+func (w *window) scoreAll(ents []*winEntry, view *scoreView, out []entryScore) {
+	w.pool.forEach(len(ents), scoreGrainPerWorker, func(worker, lo, hi int) {
+		scr := w.sc.prime
+		if w.pool != nil {
+			scr = w.pool.scratch[worker]
+		}
+		for i := lo; i < hi; i++ {
+			nbs := w.neighborsInto(ents[i].edge, scr)
+			_, best, part := view.scoreEdge(ents[i].edge, nbs, scr)
+			out[i] = entryScore{score: best, part: part}
+		}
+	})
 }
 
 // popBest implements GETBESTASSIGNMENT's search (Alg. 1 line 9) with lazy
@@ -223,55 +326,57 @@ func (w *window) popBest() (e graph.Edge, part int, score float64, ok bool) {
 		if len(w.candidates) == 0 {
 			return graph.Edge{}, 0, 0, false
 		}
-		best := w.candidates[0]
-		for _, ent := range w.candidates[1:] {
-			if ent.score > best.score {
-				best = ent
-			}
-		}
-		w.remove(best)
-		return best.edge, best.part, best.score, true
+		return w.popFreshFrom(w.candidates)
 	}
-	// Everything scored at or below Θ: fall back to the best secondary
-	// entry by cached score (fresh from the rescan above).
-	best := w.secondary[0]
-	for _, ent := range w.secondary[1:] {
-		if ent.score > best.score {
-			best = ent
-		}
-	}
+	// Everything scored at or below Θ: pop the best secondary entry. Its
+	// cached score may predate arbitrary cache changes — e.g. when lazy
+	// selection demoted every candidate, pre-existing secondary entries
+	// were last scored whenever they entered the window — so the winner
+	// is re-scored before the assignment is committed.
+	return w.popFreshFrom(w.secondary)
+}
+
+// popFreshFrom picks the set's best entry by cached score, re-scores it
+// against the current cache state, and removes it. The fresh score is
+// what the caller commits: a cached (score, part) pair may be stale on
+// every fallback path, and assigning a stale argmax partition would
+// desynchronise the assignment from the scoring function.
+func (w *window) popFreshFrom(set []*winEntry) (graph.Edge, int, float64, bool) {
+	idx, _ := w.pool.topTwoCached(set)
+	best := set[idx]
+	view := w.sc.view()
+	_, fresh, part := view.scoreEdge(best.edge, w.neighborsInto(best.edge, w.sc.prime), w.sc.prime)
+	w.updateScore(best, fresh, part)
 	w.remove(best)
-	return best.edge, best.part, best.score, true
+	return best.edge, part, fresh, true
 }
 
 // selectLazy picks the winning candidate: scan cached scores for the two
 // best entries, refresh only the leader, and accept it unless its fresh
 // score fell below the runner-up — in which case retry with the updated
 // cache (bounded). Returns nil only if demotions empty the candidate set.
+// Θ and the scoring view are snapshotted once for the whole selection
+// (the Θ snapshot rule): every retry's demotion decision compares against
+// the same threshold, so the outcome does not depend on how many leaders
+// were refreshed before a given entry was considered.
 func (w *window) selectLazy() *winEntry {
 	const maxTries = 4
+	theta := w.theta()
+	view := w.sc.view()
 	for try := 0; try < maxTries; try++ {
 		if len(w.candidates) == 0 {
 			return nil
 		}
-		best := w.candidates[0]
-		var second float64
-		for _, ent := range w.candidates[1:] {
-			if ent.score > best.score {
-				second = best.score
-				best = ent
-			} else if ent.score > second {
-				second = ent.score
-			}
-		}
-		_, fresh, part := w.sc.scoreEdge(best.edge, w.neighbors(best.edge))
+		idx, second := w.pool.topTwoCached(w.candidates)
+		best := w.candidates[idx]
+		_, fresh, part := view.scoreEdge(best.edge, w.neighborsInto(best.edge, w.sc.prime), w.sc.prime)
 		w.updateScore(best, fresh, part)
 		if fresh >= second || len(w.candidates) == 1 {
 			return best
 		}
 		// The leader's score decayed below the runner-up: demote it if it
 		// also fell under Θ, then retry against the updated cache.
-		if fresh <= w.theta() {
+		if fresh <= theta {
 			w.detach(best)
 			w.pushSecondary(best)
 			w.demotions++
@@ -282,60 +387,71 @@ func (w *window) selectLazy() *winEntry {
 }
 
 // rescoreCandidates refreshes every candidate's score, demoting those that
-// fell to or below Θ (lazy mode only), and returns the argmax (nil if all
-// demoted).
+// fell to or below the pass's Θ snapshot (lazy mode only), and returns the
+// argmax (nil if all demoted). The compute phase runs on the score
+// workers; the serial apply phase walks the snapshot in insertion-position
+// order, so the argmax tie-break (first strictly-greater win) is fixed.
 func (w *window) rescoreCandidates() *winEntry {
 	theta := w.theta()
+	view := w.sc.view()
+	ents, scored := w.snapshotSet(w.candidates)
+	w.scoreAll(ents, &view, scored)
+
 	var best *winEntry
-	for i := 0; i < len(w.candidates); {
-		ent := w.candidates[i]
-		_, score, part := w.sc.scoreEdge(ent.edge, w.neighbors(ent.edge))
-		w.updateScore(ent, score, part)
-		if !w.eager && score <= theta {
+	for i, ent := range ents {
+		w.updateScore(ent, scored[i].score, scored[i].part)
+		if !w.eager && scored[i].score <= theta {
 			// Demote: swap-remove from candidates, push to secondary.
 			w.detach(ent)
 			w.pushSecondary(ent)
 			w.demotions++
-			continue // i now holds the swapped-in entry
+			continue
 		}
-		if best == nil || score > best.score {
+		if best == nil || scored[i].score > best.score {
 			best = ent
 		}
-		i++
 	}
 	return best
 }
 
 // rescanSecondary re-scores every secondary entry and promotes those whose
-// fresh score exceeds Θ (§III-B step 2).
+// fresh score exceeds the pass's Θ snapshot (§III-B step 2). Compute runs
+// on the score workers; the apply phase promotes in snapshot order. Since
+// the pass just refreshed every secondary score anyway, it finishes by
+// re-summing scoreSum exactly, flushing accumulated floating-point drift.
 func (w *window) rescanSecondary() {
 	w.rescans++
 	theta := w.theta()
-	for i := 0; i < len(w.secondary); {
-		ent := w.secondary[i]
-		_, score, part := w.sc.scoreEdge(ent.edge, w.neighbors(ent.edge))
-		w.updateScore(ent, score, part)
-		if score > theta && len(w.candidates) < w.maxCand {
+	view := w.sc.view()
+	ents, scored := w.snapshotSet(w.secondary)
+	w.scoreAll(ents, &view, scored)
+
+	for i, ent := range ents {
+		w.updateScore(ent, scored[i].score, scored[i].part)
+		if scored[i].score > theta && len(w.candidates) < w.maxCand {
 			w.detach(ent)
 			w.pushCandidate(ent)
 			w.promotions++
-			continue
 		}
-		i++
 	}
+	w.recomputeScoreSum()
 }
 
 // reassess re-scores the secondary edges incident to v — called when v
 // gained a new replica, which may have raised their replication or
-// clustering scores past Θ (§III-B step 3).
+// clustering scores past Θ (§III-B step 3). Incident lists are short, so
+// the pass runs serially on the prime scratch; Θ and the view are
+// snapshotted at entry like every other pass.
 func (w *window) reassess(v graph.VertexID) {
 	w.reassessments++
 	theta := w.theta()
+	view := w.sc.view()
 	for _, ent := range w.iterIncident(v) {
 		if ent.kind != inSecondary || len(w.candidates) >= w.maxCand {
 			continue
 		}
-		_, score, part := w.sc.scoreEdge(ent.edge, w.neighbors(ent.edge))
+		nbs := w.neighborsInto(ent.edge, w.sc.prime)
+		_, score, part := view.scoreEdge(ent.edge, nbs, w.sc.prime)
 		w.updateScore(ent, score, part)
 		if score > theta {
 			w.detach(ent)

@@ -34,6 +34,12 @@ type Spec struct {
 	// Lambda overrides the balancing weight of strategies that take one
 	// (HDRF); 0 selects the strategy default.
 	Lambda float64
+	// ScoreWorkers sets the window-scoring worker shards of window-class
+	// strategies (ADWISE). 0 = auto: GOMAXPROCS for a lone instance,
+	// divided among the z instances under parallel loading so z × workers
+	// does not oversubscribe the machine (the spotlight conveniences set
+	// the division). Any value yields identical assignments.
+	ScoreWorkers int
 	// Options are extra ADWISE options applied after the Spec-derived
 	// ones (clustering toggles, clock substitution, ...).
 	Options []core.Option
@@ -237,6 +243,9 @@ func init() {
 		}
 		if s.Window > 0 {
 			opts = append(opts, core.WithInitialWindow(s.Window), core.WithFixedWindow())
+		}
+		if s.ScoreWorkers > 0 {
+			opts = append(opts, core.WithScoreWorkers(s.ScoreWorkers))
 		}
 		opts = append(opts, s.Options...)
 		ad, err := core.New(s.K, opts...)

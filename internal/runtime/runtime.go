@@ -69,6 +69,9 @@ type Stats struct {
 	// FinalLambda is the balancing weight after the last assignment
 	// (adaptive-λ strategies only).
 	FinalLambda float64
+	// ScoreWorkers is the resolved scoring worker count (window
+	// strategies only; 0 for strategies without a scoring pool).
+	ScoreWorkers int
 }
 
 // partitionerStrategy adapts a single-edge partition.Partitioner to
@@ -126,6 +129,7 @@ func (a adwiseStrategy) Stats() Stats {
 		FinalWindow:         st.FinalWindow,
 		PeakWindow:          st.PeakWindow,
 		FinalLambda:         st.FinalLambda,
+		ScoreWorkers:        st.ScoreWorkers,
 	}
 }
 

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	gort "runtime"
 	"sync"
 
 	"github.com/adwise-go/adwise/internal/graph"
@@ -152,14 +153,32 @@ func RunSpotlight(edges []graph.Edge, cfg SpotlightConfig, build func(i int, all
 	return RunSpotlightStreams(streams, cfg, build)
 }
 
+// divideScoreWorkers resolves an auto (zero) per-instance score-worker
+// count under parallel loading: the machine's cores split evenly among
+// the z concurrently running instances, so z instances × n workers never
+// oversubscribes. Sequential runs execute the instances one at a time,
+// so each may use the whole machine. An explicit spec value is honoured
+// as-is — the caller asked for that many shards per instance.
+func divideScoreWorkers(spec Spec, cfg SpotlightConfig) Spec {
+	if spec.ScoreWorkers == 0 {
+		z := cfg.Z
+		if cfg.Sequential {
+			z = 1
+		}
+		spec.ScoreWorkers = max(1, gort.GOMAXPROCS(0)/max(z, 1))
+	}
+	return spec
+}
+
 // RunStrategySpotlight is the registry-driven convenience: it partitions
 // edges with Z instances of the named strategy, each restricted to its
-// spread, with the per-instance seed offset and chunk-size hint the paper's
-// setup uses.
+// spread, with the per-instance seed offset, chunk-size hint, and divided
+// score-worker share the paper's setup uses.
 func RunStrategySpotlight(name string, edges []graph.Edge, cfg SpotlightConfig, spec Spec) (*metrics.Assignment, error) {
 	if spec.K == 0 {
 		spec.K = cfg.K
 	}
+	spec = divideScoreWorkers(spec, cfg)
 	chunkEdges := int64(len(edges)/max(cfg.Z, 1) + 1)
 	return RunSpotlight(edges, cfg, func(i int, allowed []int) (Runner, error) {
 		s := spec
@@ -212,6 +231,7 @@ func RunStrategySpotlightFile(name, path string, cfg SpotlightConfig, spec Spec)
 	if spec.K == 0 {
 		spec.K = cfg.K
 	}
+	spec = divideScoreWorkers(spec, cfg)
 	return RunSpotlightStreams(streams, cfg, func(i int, allowed []int) (Runner, error) {
 		s := spec
 		s.Allowed = allowed

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	gort "runtime"
 	"strings"
 	"testing"
 
@@ -343,5 +344,58 @@ func TestSpotlightSequentialMatchesParallel(t *testing.T) {
 		if seq.Parts[i] != par.Parts[i] {
 			t.Fatalf("sequential and parallel spotlight diverge at edge %d", i)
 		}
+	}
+}
+
+// TestSpotlightScoreWorkersInvariant pins the cross-layer determinism
+// contract: under spotlight loading, the per-instance score-worker count
+// must not change a single assignment — only wall-clock. Auto (0) divides
+// the machine's cores among the z instances; explicit values are honoured
+// per instance.
+func TestSpotlightScoreWorkersInvariant(t *testing.T) {
+	g := clusteredGraph(t)
+	cfg := SpotlightConfig{K: 8, Z: 2, Spread: 4, Sequential: true}
+	run := func(workers int) *metrics.Assignment {
+		t.Helper()
+		a, err := RunStrategySpotlight("adwise", g.Edges, cfg, Spec{
+			K:            8,
+			Window:       128,
+			ScoreWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4} {
+		parallel := run(workers)
+		if parallel.Len() != serial.Len() {
+			t.Fatalf("workers=%d assigned %d edges, serial %d", workers, parallel.Len(), serial.Len())
+		}
+		for i := range serial.Edges {
+			if serial.Edges[i] != parallel.Edges[i] || serial.Parts[i] != parallel.Parts[i] {
+				t.Fatalf("workers=%d diverged from serial at assignment %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestDivideScoreWorkers pins the oversubscription rule: auto values
+// split cores across concurrently running instances (never below 1),
+// sequential runs keep the whole machine per instance, and explicit
+// values pass through untouched.
+func TestDivideScoreWorkers(t *testing.T) {
+	parallel8 := SpotlightConfig{K: 8, Z: 8, Spread: 1}
+	if got := divideScoreWorkers(Spec{ScoreWorkers: 3}, parallel8).ScoreWorkers; got != 3 {
+		t.Errorf("explicit ScoreWorkers rewritten to %d", got)
+	}
+	huge := SpotlightConfig{K: 1 << 20, Z: 1 << 20, Spread: 1}
+	if got := divideScoreWorkers(Spec{}, huge).ScoreWorkers; got < 1 {
+		t.Errorf("auto ScoreWorkers = %d under huge z, want >= 1", got)
+	}
+	seq := SpotlightConfig{K: 8, Z: 8, Spread: 1, Sequential: true}
+	if got := divideScoreWorkers(Spec{}, seq).ScoreWorkers; got != gort.GOMAXPROCS(0) {
+		t.Errorf("sequential auto ScoreWorkers = %d, want GOMAXPROCS %d: instances run one at a time", got, gort.GOMAXPROCS(0))
 	}
 }
