@@ -98,8 +98,10 @@ var (
 	WithEpsilon = core.WithEpsilon
 	// WithMaxCandidates bounds the lazy-traversal candidate set.
 	WithMaxCandidates = core.WithMaxCandidates
-	// WithScoreWorkers shards window scoring across n workers (0 = auto).
-	// Any worker count produces edge-for-edge identical assignments.
+	// WithScoreWorkers splits window scoring into n logical shards,
+	// executed on the process-wide work-stealing pool (0 = auto:
+	// GOMAXPROCS). Any shard count produces edge-for-edge identical
+	// assignments.
 	WithScoreWorkers = core.WithScoreWorkers
 )
 
@@ -275,6 +277,22 @@ func RunSpotlight(edges []Edge, cfg SpotlightConfig, build func(i int, allowed [
 // the named strategy, each restricted to its spotlight spread.
 func RunStrategySpotlight(name string, edges []Edge, cfg SpotlightConfig, spec StrategySpec) (*Assignment, error) {
 	return runtime.RunStrategySpotlight(name, edges, cfg, spec)
+}
+
+// RunStrategySpotlightStats is RunStrategySpotlight plus each instance's
+// StrategyStats. With window strategies scoring on the process-wide
+// work-stealing pool, per-instance counters stay correctly attributed
+// (an instance's score ops land in its own shard scratches no matter
+// which pool worker ran them); AggregateStrategyStats folds them into a
+// run-level view.
+func RunStrategySpotlightStats(name string, edges []Edge, cfg SpotlightConfig, spec StrategySpec) (*Assignment, []StrategyStats, error) {
+	return runtime.RunStrategySpotlightStats(name, edges, cfg, spec)
+}
+
+// AggregateStrategyStats folds per-instance spotlight stats into one
+// run-level view: counters summed, latency and window peaks maxed.
+func AggregateStrategyStats(stats []StrategyStats) StrategyStats {
+	return runtime.AggregateStats(stats)
 }
 
 // RunSpotlightStreams partitions Z edge streams with Z parallel instances

@@ -31,16 +31,18 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("adwise-bench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "list", `experiment id, "all", or "list"`)
-		scale   = fs.Float64("scale", 0.1, "graph scale factor (1.0 = default evaluation size)")
-		seed    = fs.Uint64("seed", 42, "experiment seed")
-		k       = fs.Int("k", 32, "partitions")
-		z       = fs.Int("z", 8, "parallel partitioner instances")
-		spread  = fs.Int("spread", 4, "spotlight spread (partitions per instance)")
-		verbose = fs.Bool("v", false, "print progress lines to stderr")
-		jsonOut = fs.Bool("json", false, "emit results as JSON instead of aligned text tables")
-		profile = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
-		workers = fs.Int("score-workers", 0, "window-scoring workers per ADWISE instance (0 = auto; pins the scoring-experiment sweep)")
+		exp      = fs.String("exp", "list", `experiment id, "all", or "list"`)
+		scale    = fs.Float64("scale", 0.1, "graph scale factor (1.0 = default evaluation size)")
+		seed     = fs.Uint64("seed", 42, "experiment seed")
+		k        = fs.Int("k", 32, "partitions")
+		z        = fs.Int("z", 8, "parallel partitioner instances")
+		spread   = fs.Int("spread", 4, "spotlight spread (partitions per instance)")
+		verbose  = fs.Bool("v", false, "print progress lines to stderr")
+		jsonOut  = fs.Bool("json", false, "emit results as JSON instead of aligned text tables")
+		profile  = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		workers  = fs.Int("score-workers", 0, "window-scoring shards per ADWISE instance on the shared work-stealing pool (0 = auto: GOMAXPROCS; pins the scoring-experiment sweep)")
+		regress  = fs.String("regress-baseline", "", "benchmark trajectory file (e.g. BENCH_scoring.json): after a scoring run, fail if per-cell speedups regressed vs the last ci-baseline record")
+		regressT = fs.Float64("regress-tol", 0.20, "allowed fractional speedup loss before -regress-baseline fails the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,8 +92,18 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		if *jsonOut {
-			return t.WriteJSON(stdout)
+			if err := t.WriteJSON(stdout); err != nil {
+				return err
+			}
+		} else if err := t.Fprint(stdout); err != nil {
+			return err
 		}
-		return t.Fprint(stdout)
+		if *regress != "" {
+			if err := adwise.CheckScoringRegression(t, *regress, *regressT); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "adwise-bench: no regression vs %s (tol %.0f%%)\n", *regress, *regressT*100)
+		}
+		return nil
 	}
 }

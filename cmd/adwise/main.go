@@ -43,7 +43,7 @@ func run(args []string) error {
 		algo    = fs.String("algo", "adwise", "strategy: "+strings.Join(adwise.StrategyNames(), ", "))
 		latency = fs.Duration("latency", 0, "ADWISE latency preference L (0 = single-edge behaviour)")
 		window  = fs.Int("window", 0, "ADWISE fixed window size (overrides -latency adaptation)")
-		workers = fs.Int("score-workers", 0, "ADWISE window-scoring workers per instance (0 = auto: cores/z)")
+		workers = fs.Int("score-workers", 0, "ADWISE window-scoring shard budget (0 = auto: GOMAXPROCS shards per instance on the shared work-stealing pool; explicit values are distributed across the -z instances)")
 		z       = fs.Int("z", 1, "parallel partitioner instances")
 		spread  = fs.Int("spread", 0, "partitions per instance (default k/z)")
 		seed    = fs.Uint64("seed", 42, "hash/graph seed")

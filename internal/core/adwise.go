@@ -7,6 +7,7 @@ import (
 
 	"github.com/adwise-go/adwise/internal/clock"
 	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/scorepool"
 	"github.com/adwise-go/adwise/internal/stream"
 	"github.com/adwise-go/adwise/internal/vcache"
 )
@@ -40,7 +41,9 @@ type config struct {
 	maxCandidates int
 	lazy          bool  // lazy window traversal; eager rescans everything (ablation)
 	totalEdges    int64 // m hint when the stream cannot report it
-	scoreWorkers  int   // window-scoring worker shards; 0 = auto (GOMAXPROCS)
+	scoreWorkers  int   // window-scoring logical shards; 0 = auto (GOMAXPROCS)
+	pool          *scorepool.Pool
+	poolSet       bool // WithScorePool was used (nil is a meaningful value)
 }
 
 // Option configures an ADWISE partitioner.
@@ -132,16 +135,30 @@ func WithTotalEdgesHint(m int64) Option {
 	return func(c *config) { c.totalEdges = m }
 }
 
-// WithScoreWorkers sets the number of worker shards window scoring passes
-// (candidate rescores, secondary rescans, cached-score scans) run across.
-// 0 (the default) resolves to GOMAXPROCS at construction; 1 forces fully
-// serial scoring. Any worker count produces edge-for-edge identical
-// assignments — sharding uses fixed boundaries and a deterministic
-// shard-order reduction — so the knob trades only wall-clock for cores.
-// Under parallel loading, divide the machine's cores among the z
-// instances (internal/runtime does this automatically for auto values).
+// WithScoreWorkers sets the number of logical shards window scoring
+// passes (candidate rescores, secondary rescans, cached-score scans) are
+// split into. 0 (the default) resolves to GOMAXPROCS at construction;
+// 1 forces fully serial scoring. Shards execute on the process-wide
+// work-stealing pool (see WithScorePool), so under parallel loading the
+// machine's cores flow to whichever instance has work — there is no need
+// to divide cores among instances. Any shard count produces edge-for-edge
+// identical assignments — sharding uses fixed boundaries and a
+// deterministic shard-order reduction — so the knob trades only
+// wall-clock for cores.
 func WithScoreWorkers(n int) Option {
 	return func(c *config) { c.scoreWorkers = n }
+}
+
+// WithScorePool overrides the pool scoring shards execute on. The default
+// (when more than one shard is configured) is the process-wide shared
+// work-stealing pool, scorepool.Shared(). Passing nil forces every pass
+// inline on the caller regardless of the shard count; passing a private
+// pool pins the instance to that pool's workers — the bench harness uses
+// this to reproduce the historical static cores/z split for comparison.
+// Determinism is unaffected either way: pool choice, like worker count,
+// can never change assignments.
+func WithScorePool(p *scorepool.Pool) Option {
+	return func(c *config) { c.pool, c.poolSet = p, true }
 }
 
 // Adwise is the ADWISE streaming partitioner. An instance carries the
@@ -177,13 +194,23 @@ type RunStats struct {
 	MeanAssignScore float64
 	// Lazy-traversal counters.
 	Promotions, Demotions, Reassessments, SecondaryRescans int64
-	// ScoreWorkers is the resolved scoring worker count (≥ 1).
+	// ScoreWorkers is the resolved logical scoring shard count (≥ 1).
 	ScoreWorkers int
 	// ParallelScorePasses counts scoring passes that actually ran sharded
-	// on the worker pool (small passes run inline on the caller).
+	// on the scoring pool (small passes run inline on the caller).
 	ParallelScorePasses int64
-	// WorkerScoreOps is the per-worker share of ScoreComputations done on
-	// the pool (index = worker id; worker 0 also runs the inline passes).
+	// StolenScoreShards counts shards of this instance's pool passes that
+	// were executed by pool workers rather than the instance's own
+	// goroutine — the work-stealing flex that lets a dense-segment
+	// instance borrow idle cores under parallel loading.
+	StolenScoreShards int64
+	// PeakPassHelpers is the largest number of distinct pool workers that
+	// served a single one of this instance's passes.
+	PeakPassHelpers int
+	// WorkerScoreOps is the per-logical-shard share of ScoreComputations
+	// done on pool passes (index = shard id; shard 0 also runs the inline
+	// passes). Shard scratches are owned by this instance, so the counters
+	// attribute ops to the instance even when a shared pool executed them.
 	// Serial one-edge rescores are accounted to ScoreComputations only.
 	WorkerScoreOps []int64
 }
@@ -253,11 +280,15 @@ func New(k int, opts ...Option) (*Adwise, error) {
 		// Eager traversal: every edge is a candidate, re-scored each pop.
 		maxCand = int(^uint(0) >> 1)
 	}
-	workers := cfg.scoreWorkers
-	if workers == 0 {
-		workers = gort.GOMAXPROCS(0)
+	shards := cfg.scoreWorkers
+	if shards == 0 {
+		shards = gort.GOMAXPROCS(0)
 	}
-	pool := newScorePool(workers, k, len(parts))
+	execPool := cfg.pool
+	if !cfg.poolSet && shards > 1 {
+		execPool = scorepool.Shared()
+	}
+	pool := newScorePool(execPool, shards, k, len(parts))
 	return &Adwise{
 		cfg:    cfg,
 		parts:  parts,
@@ -285,9 +316,6 @@ func (a *Adwise) Run(s stream.Stream) (*metrics.Assignment, error) {
 		return nil, fmt.Errorf("core: Adwise instance already ran; create a new instance per pass")
 	}
 	a.ran = true
-	// The score workers are started lazily by the first pass large enough
-	// to shard; a single-use instance tears them down when the pass ends.
-	defer a.win.pool.stop()
 
 	// The window refill draws one edge at a time; buffering batches the
 	// pulls from the underlying stream (file, chunk, …) and devirtualizes
@@ -400,6 +428,8 @@ func (a *Adwise) Run(s stream.Stream) (*metrics.Assignment, error) {
 	a.stats.FinalLambda = a.scorer.lambda
 	a.stats.ScoreWorkers = a.win.pool.n
 	a.stats.ParallelScorePasses = a.win.pool.passes
+	a.stats.StolenScoreShards = a.win.pool.stolen
+	a.stats.PeakPassHelpers = a.win.pool.helpersPeak
 	a.stats.WorkerScoreOps = a.win.pool.workerOps()
 	if a.stats.Assignments > 0 {
 		a.stats.MeanAssignScore = totalScoreSum / float64(a.stats.Assignments)

@@ -8,6 +8,7 @@ import (
 	"github.com/adwise-go/adwise/internal/gen"
 	"github.com/adwise-go/adwise/internal/graph"
 	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/scorepool"
 	"github.com/adwise-go/adwise/internal/stream"
 )
 
@@ -17,12 +18,19 @@ import (
 func checkWindowInvariants(t *testing.T, w *window) {
 	t.Helper()
 	live := make(map[*winEntry]bool, w.len())
+	if len(w.candScores) != len(w.candidates) || len(w.secScores) != len(w.secondary) {
+		t.Fatalf("score slices out of sync: |candScores|=%d |C|=%d, |secScores|=%d |Q|=%d",
+			len(w.candScores), len(w.candidates), len(w.secScores), len(w.secondary))
+	}
 	for i, ent := range w.candidates {
 		if ent.kind != inCandidates {
 			t.Fatalf("candidates[%d] has kind %d", i, ent.kind)
 		}
 		if ent.pos != i {
 			t.Fatalf("candidates[%d].pos = %d", i, ent.pos)
+		}
+		if w.candScores[i] != ent.score {
+			t.Fatalf("candScores[%d] = %v, entry caches %v", i, w.candScores[i], ent.score)
 		}
 		live[ent] = true
 	}
@@ -32,6 +40,9 @@ func checkWindowInvariants(t *testing.T, w *window) {
 		}
 		if ent.pos != i {
 			t.Fatalf("secondary[%d].pos = %d", i, ent.pos)
+		}
+		if w.secScores[i] != ent.score {
+			t.Fatalf("secScores[%d] = %v, entry caches %v", i, w.secScores[i], ent.score)
 		}
 		live[ent] = true
 	}
@@ -90,8 +101,12 @@ func TestWindowInvariantsRandomized(t *testing.T) {
 			if tc.eager {
 				maxCand = int(^uint(0) >> 1)
 			}
-			pool := newScorePool(tc.workers, 8, len(sc.parts))
-			defer pool.stop()
+			var exec *scorepool.Pool
+			if tc.workers > 1 {
+				exec = scorepool.New(tc.workers)
+				defer exec.Close()
+			}
+			pool := newScorePool(exec, tc.workers, 8, len(sc.parts))
 			w := newWindow(sc, pool, 0.1, maxCand, tc.eager)
 			rng := rand.New(rand.NewSource(99))
 			for i := 0; i < 4000; i++ {
@@ -256,25 +271,26 @@ func TestWorkerStatsFolded(t *testing.T) {
 func TestTopTwoCachedShardedMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	n := scanGrain + 1234
-	entries := make([]*winEntry, n)
-	for i := range entries {
+	scores := make([]float64, n)
+	for i := range scores {
 		// Coarse quantisation forces plenty of exact ties, including for
 		// the maximum, so the insertion-order tie-break is really tested.
-		entries[i] = &winEntry{score: float64(rng.Intn(64))}
+		scores[i] = float64(rng.Intn(64))
 	}
-	pool := newScorePool(4, 2, 2)
-	defer pool.stop()
+	exec := scorepool.New(4)
+	defer exec.Close()
+	pool := newScorePool(exec, 4, 2, 2)
 
 	for round := 0; round < 50; round++ {
-		serialTop := scanTopTwo(entries, 0, len(entries))
-		gotIdx, gotSecond := pool.topTwoCached(entries)
+		serialTop := scanTopTwo(scores, 0, len(scores))
+		gotIdx, gotSecond := pool.topTwoCached(scores)
 		if gotIdx != serialTop.bestIdx || gotSecond != serialTop.second {
 			t.Fatalf("round %d: sharded (idx=%d second=%v) != serial (idx=%d second=%v)",
 				round, gotIdx, gotSecond, serialTop.bestIdx, serialTop.second)
 		}
 		// Perturb for the next round.
 		for i := 0; i < 100; i++ {
-			entries[rng.Intn(n)].score = float64(rng.Intn(64))
+			scores[rng.Intn(n)] = float64(rng.Intn(64))
 		}
 	}
 	if pool.passes == 0 {
@@ -285,10 +301,15 @@ func TestTopTwoCachedShardedMatchesSerial(t *testing.T) {
 // TestForEachShardsTile verifies the fixed shard boundaries: every index
 // covered exactly once, shard assignment a pure function of (items, n).
 func TestForEachShardsTile(t *testing.T) {
+	exec := scorepool.New(2)
+	defer exec.Close()
 	for _, n := range []int{1, 2, 3, 7, 8} {
-		pool := newScorePool(n, 2, 2)
+		pool := newScorePool(exec, n, 2, 2)
 		for _, items := range []int{0, 1, 5, 63, 64, 1000, 4096} {
 			covered := make([]int32, items)
+			// Shards cover disjoint index ranges, so the concurrent writes
+			// below are race-free by construction — exactly the disjoint-
+			// slot rule real passes rely on.
 			pool.forEach(items, 1, func(worker, lo, hi int) {
 				for i := lo; i < hi; i++ {
 					covered[i]++
@@ -300,6 +321,5 @@ func TestForEachShardsTile(t *testing.T) {
 				}
 			}
 		}
-		pool.stop()
 	}
 }

@@ -62,13 +62,22 @@ func newScoreScratch(k, nparts int) *scoreScratch {
 // across workers and, independently, what pins the pass semantics: every
 // edge scored in one pass sees the same λ, sizes, and degrees, regardless
 // of evaluation order.
+//
+// The balance term λ·B(p) of Eq. 7 depends only on λ and the partition
+// sizes — both fixed for the pass — so the view carries it precomputed
+// per allowed partition: the inner scoring loop reads one float64 from a
+// flat slice instead of recomputing a division per (edge, partition)
+// pair. The precomputation evaluates λ·(maxSize−size(p))/spread with the
+// same operation order as the historical per-edge form, so pass scores
+// are bit-identical.
 type scoreView struct {
 	cache *vcache.Cache // read-only during the pass
 	parts []int
 
-	lambda     float64
-	maxSize    int64
-	sizeSpread float64 // (maxSize-minSize) + balanceEps
+	// balance[i] = λ·B(parts[i]), fixed for the pass. Aliases the minting
+	// scorer's balBuf; valid until the next view is minted, which only
+	// happens at pass boundaries.
+	balance    []float64
 	maxDeg     float64
 	clustering bool
 }
@@ -113,8 +122,7 @@ func (v *scoreView) scoreEdge(e graph.Edge, neighbors []graph.VertexID, scr *sco
 	}
 	best, bestPart = -1, v.parts[0]
 	for i, p := range v.parts {
-		bal := float64(v.maxSize-v.cache.Size(p)) / v.sizeSpread
-		g := v.lambda * bal
+		g := v.balance[i]
 		if ru.Contains(p) {
 			g += 2 - psiU
 		}
@@ -150,6 +158,11 @@ type scorer struct {
 	// prime is the scratch of the serial scoring paths (window add,
 	// reassess, lazy-leader rescores). Worker scratches live in scorePool.
 	prime *scoreScratch
+
+	// balBuf backs scoreView.balance: one float64 per allowed partition,
+	// refilled by view() at each pass boundary. At most one pass (and hence
+	// one live view) exists per scorer, so reuse is safe.
+	balBuf []float64
 }
 
 func newScorer(cache *vcache.Cache, parts []int, cfg config) *scorer {
@@ -163,19 +176,26 @@ func newScorer(cache *vcache.Cache, parts []int, cfg config) *scorer {
 		clustering: cfg.clustering,
 		totalEdges: cfg.totalEdges,
 		prime:      newScoreScratch(cache.K(), len(parts)),
+		balBuf:     make([]float64, len(parts)),
 	}
 }
 
 // view snapshots the scoring inputs for one window pass. Cheap: one
-// min/max sweep over the allowed partition sizes.
+// min/max sweep over the allowed partition sizes plus one λ·B(p) fill per
+// allowed partition — O(|parts|) once per pass instead of a division per
+// scored (edge, partition) pair.
 func (s *scorer) view() scoreView {
 	minSize, maxSize := s.cache.MinMaxSizeOf(s.parts)
+	sizeSpread := float64(maxSize-minSize) + s.balanceEps
+	for i, p := range s.parts {
+		// Same operation order as the historical per-edge computation
+		// (λ * (Δ/spread)) so scores stay bit-identical.
+		s.balBuf[i] = s.lambda * (float64(maxSize-s.cache.Size(p)) / sizeSpread)
+	}
 	return scoreView{
 		cache:      s.cache,
 		parts:      s.parts,
-		lambda:     s.lambda,
-		maxSize:    maxSize,
-		sizeSpread: float64(maxSize-minSize) + s.balanceEps,
+		balance:    s.balBuf,
 		maxDeg:     float64(s.cache.MaxDegree()),
 		clustering: s.clustering,
 	}

@@ -1,22 +1,30 @@
 package core
 
 import (
-	"sync"
+	"github.com/adwise-go/adwise/internal/scorepool"
 )
 
-// scorePool shards window scoring passes across a fixed set of workers.
+// scorePool is one instance's view of window-scoring parallelism: it
+// splits a pass into the instance's fixed logical shards and submits them
+// to a scorepool.Pool — normally the process-wide shared pool — where the
+// instance's own goroutine and any idle pool worker execute them. Under
+// spotlight loading this is what lets an instance on a dense segment
+// borrow the cores an instance on a sparse segment is not using, instead
+// of being pinned to a static cores/z slice of the machine.
 //
-// Determinism contract: a pass result must be byte-for-byte independent of
-// the worker count and of whether the pool ran a pass in parallel at all.
-// The pool guarantees this by construction —
+// Determinism contract: a pass result must be byte-for-byte independent
+// of the pool's worker count, of stealing order, and of whether the pass
+// ran in parallel at all. The client guarantees this by construction —
 //
 //   - shard boundaries are a fixed function of (items, n): shard i covers
-//     [i·items/n, (i+1)·items/n), so the same items always land in the
+//     [i·items/n, (i+1)·items/n) with n the instance's *logical* shard
+//     count, never the pool width, so the same items always land in the
 //     same shard;
-//   - workers only compute: they write disjoint result slots and never
-//     touch window state, so evaluation order cannot leak into results
-//     (scoreEdge is a pure function of the per-pass scoreView and the
-//     cache, which nothing mutates during a pass);
+//   - shard i always computes with scratch i, and shards only compute:
+//     they write disjoint result slots and never touch window state, so
+//     neither evaluation order nor the executing goroutine can leak into
+//     results (scoreEdge is a pure function of the per-pass scoreView and
+//     the cache, which nothing mutates during a pass);
 //   - every reduction over shard results (argmax, top-two) merges in shard
 //     order with strictly-greater comparisons, which reproduces exactly
 //     the first-wins-ties semantics of a single left-to-right scan — the
@@ -24,21 +32,31 @@ import (
 //
 // Mutations (updateScore, promote/demote, set surgery) happen strictly
 // after the parallel phase, serially, in snapshot order. The pool is
-// therefore an execution detail: workers ∈ {1, 2, …} produce edge-for-edge
-// identical assignments.
+// therefore an execution detail: any shard count and any pool produce
+// edge-for-edge identical assignments.
 //
-// Workers are started lazily on the first pass large enough to shard and
-// torn down by stop() (deferred in Adwise.Run). A pool with n == 1 never
-// starts goroutines and runs every pass inline.
+// A client with n == 1 or without a pool never leaves the caller's
+// goroutine and runs every pass inline.
 type scorePool struct {
-	n       int
-	scratch []*scoreScratch // one per worker; scratch[0] serves the caller's shard
+	pool *scorepool.Pool // nil → every pass runs inline on the caller
+	n    int             // logical shard count (fixed at construction)
 
-	tasks   chan func()
-	started bool
+	// scratch[i] is owned by logical shard i: at most one pass is active
+	// per instance and each shard is claimed exactly once, so whichever
+	// goroutine executes shard i has exclusive use of scratch i. Ops
+	// accumulated here are this instance's alone — per-instance
+	// attribution is structural, not bookkept.
+	scratch []*scoreScratch
 
-	// passes counts passes that actually ran on the workers (≥2 shards).
-	passes int64
+	pass scorepool.Pass // reusable submission state
+
+	// passes counts passes that actually ran on the pool (≥2 shards);
+	// stolen counts shards of those passes executed by pool workers
+	// rather than this instance; helpersPeak is the largest number of
+	// distinct pool workers that served a single pass.
+	passes      int64
+	stolen      int64
+	helpersPeak int
 }
 
 // Grain thresholds: below these sizes the dispatch overhead exceeds the
@@ -55,42 +73,15 @@ const (
 	scanGrain = 1 << 14
 )
 
-func newScorePool(n, k, nparts int) *scorePool {
+func newScorePool(pool *scorepool.Pool, n, k, nparts int) *scorePool {
 	if n < 1 {
 		n = 1
 	}
-	p := &scorePool{n: n, scratch: make([]*scoreScratch, n)}
+	p := &scorePool{pool: pool, n: n, scratch: make([]*scoreScratch, n)}
 	for i := range p.scratch {
 		p.scratch[i] = newScoreScratch(k, nparts)
 	}
 	return p
-}
-
-// start spawns the n-1 helper goroutines (the caller always works shard 0
-// inline). Idempotent.
-func (p *scorePool) start() {
-	if p.started || p.n <= 1 {
-		return
-	}
-	p.started = true
-	p.tasks = make(chan func(), p.n-1)
-	for i := 1; i < p.n; i++ {
-		go func() {
-			for fn := range p.tasks {
-				fn()
-			}
-		}()
-	}
-}
-
-// stop tears the helper goroutines down. Idempotent; the pool can not be
-// restarted (Adwise instances are single-Run).
-func (p *scorePool) stop() {
-	if p == nil || !p.started {
-		return
-	}
-	p.started = false
-	close(p.tasks)
 }
 
 // shard returns the fixed boundaries of shard i over items elements.
@@ -98,40 +89,33 @@ func (p *scorePool) shard(i, items int) (lo, hi int) {
 	return i * items / p.n, (i + 1) * items / p.n
 }
 
-// forEach runs fn over [0, items) split into the pool's fixed shards,
-// handing each shard its worker id (the index of the scratch it owns).
-// Passes smaller than minPerWorker·n run inline on the caller with worker
+// forEach runs fn over [0, items) split into the instance's fixed logical
+// shards, handing each shard its id (the index of the scratch it owns).
+// Passes smaller than minPerShard·n run inline on the caller with shard
 // id 0 — by the determinism contract the result is identical either way.
-// It reports whether the pass actually ran on the workers.
-func (p *scorePool) forEach(items, minPerWorker int, fn func(worker, lo, hi int)) bool {
-	if p == nil || p.n <= 1 || items < minPerWorker*p.n {
+// It reports whether the pass actually ran on the pool.
+func (p *scorePool) forEach(items, minPerShard int, fn func(shard, lo, hi int)) bool {
+	if p == nil || p.n <= 1 || p.pool == nil || items < minPerShard*p.n {
 		fn(0, 0, items)
 		return false
 	}
-	p.start()
 	p.passes++
-	var wg sync.WaitGroup
-	for i := 1; i < p.n; i++ {
-		lo, hi := p.shard(i, items)
-		if lo == hi {
-			continue
+	stolen, helpers := p.pool.Run(&p.pass, p.n, func(shard int) {
+		lo, hi := p.shard(shard, items)
+		if lo < hi {
+			fn(shard, lo, hi)
 		}
-		wg.Add(1)
-		worker := i
-		p.tasks <- func() {
-			defer wg.Done()
-			fn(worker, lo, hi)
-		}
+	})
+	p.stolen += int64(stolen)
+	if helpers > p.helpersPeak {
+		p.helpersPeak = helpers
 	}
-	lo, hi := p.shard(0, items)
-	fn(0, lo, hi)
-	wg.Wait()
 	return true
 }
 
-// workerOps returns the per-worker score-op counters (index = worker id).
-// Worker 0's inline-pass ops are included; the scorer's prime scratch is
-// accounted separately.
+// workerOps returns the per-shard score-op counters (index = logical shard
+// id). Shard 0's inline-pass ops are included; the scorer's prime scratch
+// is accounted separately.
 func (p *scorePool) workerOps() []int64 {
 	if p == nil {
 		return nil
@@ -143,7 +127,7 @@ func (p *scorePool) workerOps() []int64 {
 	return ops
 }
 
-// totalOps sums the scoring work done on the pool's scratches.
+// totalOps sums the scoring work done on the client's shard scratches.
 func (p *scorePool) totalOps() int64 {
 	var sum int64
 	if p == nil {
@@ -162,28 +146,26 @@ type shardTop struct {
 	second    float64 // best runner-up cached score within the shard (0 floor)
 }
 
-// topTwoCached scans entries' cached scores for the argmax and the
+// topTwoCached scans a set's cached scores for the argmax and the
 // runner-up score — the lazy-selection scan of §III-B — sharded over the
-// pool when the window is large enough. The merge walks shards in order
-// with strictly-greater comparisons, so the result (including the
-// earliest-index tie-break) is exactly that of one serial left-to-right
-// scan; the runner-up keeps the serial code's 0 floor (scores are
-// non-negative).
-func (p *scorePool) topTwoCached(entries []*winEntry) (bestIdx int, second float64) {
-	if len(entries) == 0 {
+// pool when the window is large enough. The scan input is the set's flat
+// score slice (struct-of-arrays: scores[i] mirrors the entry at index i),
+// so each shard is a branch-light loop over contiguous float64s. The
+// merge walks shards in order with strictly-greater comparisons, so the
+// result (including the earliest-index tie-break) is exactly that of one
+// serial left-to-right scan; the runner-up keeps the serial code's 0
+// floor (scores are non-negative).
+func (p *scorePool) topTwoCached(scores []float64) (bestIdx int, second float64) {
+	if len(scores) == 0 {
 		return -1, 0
 	}
-	n := 1
-	if p != nil && p.n > 1 && len(entries) >= scanGrain {
-		n = p.n
-	}
-	if n == 1 {
-		top := scanTopTwo(entries, 0, len(entries))
+	if p == nil || p.n <= 1 || p.pool == nil || len(scores) < scanGrain {
+		top := scanTopTwo(scores, 0, len(scores))
 		return top.bestIdx, top.second
 	}
-	tops := make([]shardTop, n)
-	p.forEach(len(entries), scanGrain/p.n, func(worker, lo, hi int) {
-		tops[worker] = scanTopTwo(entries, lo, hi)
+	tops := make([]shardTop, p.n)
+	p.forEach(len(scores), scanGrain/p.n, func(shard, lo, hi int) {
+		tops[shard] = scanTopTwo(scores, lo, hi)
 	})
 	merged := shardTop{bestIdx: -1}
 	for _, t := range tops {
@@ -213,16 +195,18 @@ func (p *scorePool) topTwoCached(entries []*winEntry) (bestIdx int, second float
 	return merged.bestIdx, merged.second
 }
 
-// scanTopTwo is the serial scan kernel over entries[lo:hi]: first-wins
+// scanTopTwo is the serial scan kernel over scores[lo:hi]: first-wins
 // argmax on strictly-greater, runner-up floored at 0 (all scores are
-// non-negative), matching the historical selectLazy scan semantics.
-func scanTopTwo(entries []*winEntry, lo, hi int) shardTop {
+// non-negative), matching the historical selectLazy scan semantics. The
+// input is a contiguous float64 slice, so the loop is two compares and at
+// most two moves per element — no pointer chasing.
+func scanTopTwo(scores []float64, lo, hi int) shardTop {
 	if lo >= hi {
 		return shardTop{bestIdx: -1}
 	}
-	top := shardTop{bestIdx: lo, bestScore: entries[lo].score}
+	top := shardTop{bestIdx: lo, bestScore: scores[lo]}
 	for i := lo + 1; i < hi; i++ {
-		if s := entries[i].score; s > top.bestScore {
+		if s := scores[i]; s > top.bestScore {
 			top.second = top.bestScore
 			top.bestIdx, top.bestScore = i, s
 		} else if s > top.second {

@@ -36,6 +36,17 @@ import (
 // the pass's Θ snapshot. Fixed shard boundaries plus shard-order argmax
 // merges (see scorepool.go) make the assignment sequence edge-for-edge
 // identical for any worker count.
+//
+// # Struct-of-arrays layout
+//
+// The per-entry data the hot loops touch lives in flat parallel arrays,
+// not behind the *winEntry pointers: candScores[i] / secScores[i] mirror
+// the cached score of candidates[i] / secondary[i] (the invariant every
+// push/detach/updateScore maintains), and a pass's fresh results land in
+// passScores / passParts slots indexed like the snapshot. The top-two
+// candidate scan — the per-pop cost of lazy selection — is therefore a
+// branch-light loop over a contiguous []float64 with no pointer chasing,
+// and the same holds for the Θ re-sum and the apply phases.
 
 type setKind uint8
 
@@ -53,19 +64,18 @@ type winEntry struct {
 	pos   int // index within its set slice, for O(1) swap-removal
 }
 
-// entryScore is one pass result slot: the fresh score and argmax partition
-// of the snapshot entry at the same index.
-type entryScore struct {
-	score float64
-	part  int
-}
-
 type window struct {
 	sc   *scorer
 	pool *scorePool
 
 	candidates []*winEntry
 	secondary  []*winEntry
+	// candScores[i] / secScores[i] cache candidates[i].score /
+	// secondary[i].score — the struct-of-arrays mirror the scan kernels
+	// run over. Maintained by pushCandidate/pushSecondary/detach/
+	// updateScore; checkWindowInvariants asserts the sync.
+	candScores []float64
+	secScores  []float64
 	// incident maps a vertex to the window entries of its incident edges.
 	// remove compacts the popped entry's two endpoint lists immediately —
 	// removal is the only source of dead entries — so between pops the
@@ -82,9 +92,12 @@ type window struct {
 	eager bool
 
 	// Reusable pass buffers: the set snapshot walked by the apply phase
-	// and the parallel compute phase's result slots.
-	entSnap []*winEntry
-	scored  []entryScore
+	// and the parallel compute phase's result slots (struct-of-arrays:
+	// passScores[i] / passParts[i] are the fresh score and argmax
+	// partition of entSnap[i]).
+	entSnap    []*winEntry
+	passScores []float64
+	passParts  []int32
 
 	// statistics
 	promotions, demotions, reassessments, rescans int64
@@ -195,31 +208,37 @@ func (w *window) pushCandidate(ent *winEntry) {
 	ent.kind = inCandidates
 	ent.pos = len(w.candidates)
 	w.candidates = append(w.candidates, ent)
+	w.candScores = append(w.candScores, ent.score)
 }
 
 func (w *window) pushSecondary(ent *winEntry) {
 	ent.kind = inSecondary
 	ent.pos = len(w.secondary)
 	w.secondary = append(w.secondary, ent)
+	w.secScores = append(w.secScores, ent.score)
 }
 
-// detach removes ent from its current set slice (incident lists are
-// untouched: a detached entry is still live, just changing sets).
+// detach removes ent from its current set slice and its parallel score
+// slice (incident lists are untouched: a detached entry is still live,
+// just changing sets).
 func (w *window) detach(ent *winEntry) {
 	var set *[]*winEntry
+	var scores *[]float64
 	switch ent.kind {
 	case inCandidates:
-		set = &w.candidates
+		set, scores = &w.candidates, &w.candScores
 	case inSecondary:
-		set = &w.secondary
+		set, scores = &w.secondary, &w.secScores
 	default:
 		return
 	}
-	s := *set
+	s, sc := *set, *scores
 	last := len(s) - 1
 	s[ent.pos] = s[last]
 	s[ent.pos].pos = ent.pos
+	sc[ent.pos] = sc[last]
 	*set = s[:last]
+	*scores = sc[:last]
 }
 
 // remove detaches ent and marks it dead, compacting its two endpoint
@@ -236,53 +255,64 @@ func (w *window) remove(ent *winEntry) {
 	}
 }
 
-// updateScore refreshes ent's cached score in place, keeping scoreSum
+// updateScore refreshes ent's cached score in place — both the entry
+// field and its slot in the set's flat score slice — keeping scoreSum
 // consistent.
 func (w *window) updateScore(ent *winEntry, score float64, part int) {
 	w.scoreSum += score - ent.score
 	ent.score, ent.part = score, part
+	switch ent.kind {
+	case inCandidates:
+		w.candScores[ent.pos] = score
+	case inSecondary:
+		w.secScores[ent.pos] = score
+	}
 }
 
 // recomputeScoreSum replaces the incrementally maintained scoreSum with
 // the exact Σ of live cached scores. The incremental form accumulates one
 // floating-point rounding per updateScore over millions of operations;
-// re-summing at every secondary rescan bounds the drift of Θ.
+// re-summing at every secondary rescan bounds the drift of Θ. The flat
+// score slices make this a pure float64 reduction.
 func (w *window) recomputeScoreSum() {
 	var sum float64
-	for _, ent := range w.candidates {
-		sum += ent.score
+	for _, s := range w.candScores {
+		sum += s
 	}
-	for _, ent := range w.secondary {
-		sum += ent.score
+	for _, s := range w.secScores {
+		sum += s
 	}
 	w.scoreSum = sum
 }
 
 // snapshotSet copies a set slice into the reusable pass snapshot buffer,
-// sizing the results buffer to match. The apply phase walks this snapshot
-// in order while promote/demote surgery perturbs the live slice.
-func (w *window) snapshotSet(set []*winEntry) ([]*winEntry, []entryScore) {
+// sizing the flat result buffers to match. The apply phase walks this
+// snapshot in order while promote/demote surgery perturbs the live slice.
+func (w *window) snapshotSet(set []*winEntry) ([]*winEntry, []float64, []int32) {
 	w.entSnap = append(w.entSnap[:0], set...)
-	if cap(w.scored) < len(set) {
-		w.scored = make([]entryScore, len(set))
+	if cap(w.passScores) < len(set) {
+		w.passScores = make([]float64, len(set))
+		w.passParts = make([]int32, len(set))
 	}
-	w.scored = w.scored[:len(set)]
-	return w.entSnap, w.scored
+	w.passScores = w.passScores[:len(set)]
+	w.passParts = w.passParts[:len(set)]
+	return w.entSnap, w.passScores, w.passParts
 }
 
 // scoreAll is the parallel compute phase: score every snapshot entry
-// against the pass view into its result slot. Workers write disjoint
-// slots and read window state nobody mutates during the pass.
-func (w *window) scoreAll(ents []*winEntry, view *scoreView, out []entryScore) {
-	w.pool.forEach(len(ents), scoreGrainPerWorker, func(worker, lo, hi int) {
+// against the pass view into its result slots (disjoint indices of the
+// flat score/part arrays). Workers read window state nobody mutates
+// during the pass; the shard id doubles as the scratch id.
+func (w *window) scoreAll(ents []*winEntry, view *scoreView, scores []float64, parts []int32) {
+	w.pool.forEach(len(ents), scoreGrainPerWorker, func(shard, lo, hi int) {
 		scr := w.sc.prime
 		if w.pool != nil {
-			scr = w.pool.scratch[worker]
+			scr = w.pool.scratch[shard]
 		}
 		for i := lo; i < hi; i++ {
 			nbs := w.neighborsInto(ents[i].edge, scr)
 			_, best, part := view.scoreEdge(ents[i].edge, nbs, scr)
-			out[i] = entryScore{score: best, part: part}
+			scores[i], parts[i] = best, int32(part)
 		}
 	})
 }
@@ -326,23 +356,24 @@ func (w *window) popBest() (e graph.Edge, part int, score float64, ok bool) {
 		if len(w.candidates) == 0 {
 			return graph.Edge{}, 0, 0, false
 		}
-		return w.popFreshFrom(w.candidates)
+		return w.popFreshFrom(w.candidates, w.candScores)
 	}
 	// Everything scored at or below Θ: pop the best secondary entry. Its
 	// cached score may predate arbitrary cache changes — e.g. when lazy
 	// selection demoted every candidate, pre-existing secondary entries
 	// were last scored whenever they entered the window — so the winner
 	// is re-scored before the assignment is committed.
-	return w.popFreshFrom(w.secondary)
+	return w.popFreshFrom(w.secondary, w.secScores)
 }
 
-// popFreshFrom picks the set's best entry by cached score, re-scores it
-// against the current cache state, and removes it. The fresh score is
-// what the caller commits: a cached (score, part) pair may be stale on
-// every fallback path, and assigning a stale argmax partition would
-// desynchronise the assignment from the scoring function.
-func (w *window) popFreshFrom(set []*winEntry) (graph.Edge, int, float64, bool) {
-	idx, _ := w.pool.topTwoCached(set)
+// popFreshFrom picks the set's best entry by cached score (scanning the
+// set's flat score slice), re-scores it against the current cache state,
+// and removes it. The fresh score is what the caller commits: a cached
+// (score, part) pair may be stale on every fallback path, and assigning a
+// stale argmax partition would desynchronise the assignment from the
+// scoring function.
+func (w *window) popFreshFrom(set []*winEntry, scores []float64) (graph.Edge, int, float64, bool) {
+	idx, _ := w.pool.topTwoCached(scores)
 	best := set[idx]
 	view := w.sc.view()
 	_, fresh, part := view.scoreEdge(best.edge, w.neighborsInto(best.edge, w.sc.prime), w.sc.prime)
@@ -367,7 +398,7 @@ func (w *window) selectLazy() *winEntry {
 		if len(w.candidates) == 0 {
 			return nil
 		}
-		idx, second := w.pool.topTwoCached(w.candidates)
+		idx, second := w.pool.topTwoCached(w.candScores)
 		best := w.candidates[idx]
 		_, fresh, part := view.scoreEdge(best.edge, w.neighborsInto(best.edge, w.sc.prime), w.sc.prime)
 		w.updateScore(best, fresh, part)
@@ -394,21 +425,22 @@ func (w *window) selectLazy() *winEntry {
 func (w *window) rescoreCandidates() *winEntry {
 	theta := w.theta()
 	view := w.sc.view()
-	ents, scored := w.snapshotSet(w.candidates)
-	w.scoreAll(ents, &view, scored)
+	ents, scores, parts := w.snapshotSet(w.candidates)
+	w.scoreAll(ents, &view, scores, parts)
 
 	var best *winEntry
+	bestScore := 0.0
 	for i, ent := range ents {
-		w.updateScore(ent, scored[i].score, scored[i].part)
-		if !w.eager && scored[i].score <= theta {
+		w.updateScore(ent, scores[i], int(parts[i]))
+		if !w.eager && scores[i] <= theta {
 			// Demote: swap-remove from candidates, push to secondary.
 			w.detach(ent)
 			w.pushSecondary(ent)
 			w.demotions++
 			continue
 		}
-		if best == nil || scored[i].score > best.score {
-			best = ent
+		if best == nil || scores[i] > bestScore {
+			best, bestScore = ent, scores[i]
 		}
 	}
 	return best
@@ -423,12 +455,12 @@ func (w *window) rescanSecondary() {
 	w.rescans++
 	theta := w.theta()
 	view := w.sc.view()
-	ents, scored := w.snapshotSet(w.secondary)
-	w.scoreAll(ents, &view, scored)
+	ents, scores, parts := w.snapshotSet(w.secondary)
+	w.scoreAll(ents, &view, scores, parts)
 
 	for i, ent := range ents {
-		w.updateScore(ent, scored[i].score, scored[i].part)
-		if scored[i].score > theta && len(w.candidates) < w.maxCand {
+		w.updateScore(ent, scores[i], int(parts[i]))
+		if scores[i] > theta && len(w.candidates) < w.maxCand {
 			w.detach(ent)
 			w.pushCandidate(ent)
 			w.promotions++

@@ -34,11 +34,13 @@ type Spec struct {
 	// Lambda overrides the balancing weight of strategies that take one
 	// (HDRF); 0 selects the strategy default.
 	Lambda float64
-	// ScoreWorkers sets the window-scoring worker shards of window-class
-	// strategies (ADWISE). 0 = auto: GOMAXPROCS for a lone instance,
-	// divided among the z instances under parallel loading so z × workers
-	// does not oversubscribe the machine (the spotlight conveniences set
-	// the division). Any value yields identical assignments.
+	// ScoreWorkers sets the window-scoring logical shard count of
+	// window-class strategies (ADWISE). 0 = auto: GOMAXPROCS shards
+	// executing on the process-wide work-stealing pool, which arbitrates
+	// cores across spotlight instances dynamically. Under the spotlight
+	// conveniences an explicit value is a per-run budget distributed
+	// across the z instances with remainder spread (splitScoreWorkers).
+	// Any value yields identical assignments.
 	ScoreWorkers int
 	// Options are extra ADWISE options applied after the Spec-derived
 	// ones (clustering toggles, clock substitution, ...).

@@ -69,9 +69,49 @@ type Stats struct {
 	// FinalLambda is the balancing weight after the last assignment
 	// (adaptive-λ strategies only).
 	FinalLambda float64
-	// ScoreWorkers is the resolved scoring worker count (window
+	// ScoreWorkers is the resolved logical scoring shard count (window
 	// strategies only; 0 for strategies without a scoring pool).
 	ScoreWorkers int
+	// ParallelScorePasses counts scoring passes that ran sharded on the
+	// scoring pool; PoolScoreOps is the share of ScoreComputations those
+	// passes performed. Per-instance attribution holds even on the shared
+	// process-wide pool: ops land in the instance's own shard scratches no
+	// matter which pool worker executed them.
+	ParallelScorePasses int64
+	PoolScoreOps        int64
+	// StolenScoreShards counts pool-pass shards executed by pool workers
+	// rather than the instance's own goroutine — >0 means the instance
+	// actually borrowed cores (the work-stealing flex under spotlight).
+	StolenScoreShards int64
+}
+
+// AggregateStats folds per-instance spotlight stats into one run-level
+// view: throughput counters are summed (safe against double-counting —
+// see RunSpotlightStreamsStats), latency and window peaks are maximums
+// (instances run concurrently; the slowest one bounds the run), and
+// FinalLambda is left zero because z independent λ trajectories have no
+// meaningful single final value.
+func AggregateStats(stats []Stats) Stats {
+	var agg Stats
+	for _, st := range stats {
+		agg.Assignments += st.Assignments
+		agg.Vertices += st.Vertices
+		agg.ScoreComputations += st.ScoreComputations
+		agg.ParallelScorePasses += st.ParallelScorePasses
+		agg.PoolScoreOps += st.PoolScoreOps
+		agg.StolenScoreShards += st.StolenScoreShards
+		agg.ScoreWorkers += st.ScoreWorkers
+		if st.PartitioningLatency > agg.PartitioningLatency {
+			agg.PartitioningLatency = st.PartitioningLatency
+		}
+		if st.FinalWindow > agg.FinalWindow {
+			agg.FinalWindow = st.FinalWindow
+		}
+		if st.PeakWindow > agg.PeakWindow {
+			agg.PeakWindow = st.PeakWindow
+		}
+	}
+	return agg
 }
 
 // partitionerStrategy adapts a single-edge partition.Partitioner to
@@ -121,6 +161,10 @@ type adwiseStrategy struct {
 
 func (a adwiseStrategy) Stats() Stats {
 	st := a.Adwise.Stats()
+	var poolOps int64
+	for _, ops := range st.WorkerScoreOps {
+		poolOps += ops
+	}
 	return Stats{
 		Assignments:         st.Assignments,
 		Vertices:            a.Cache().Vertices(),
@@ -130,6 +174,9 @@ func (a adwiseStrategy) Stats() Stats {
 		PeakWindow:          st.PeakWindow,
 		FinalLambda:         st.FinalLambda,
 		ScoreWorkers:        st.ScoreWorkers,
+		ParallelScorePasses: st.ParallelScorePasses,
+		PoolScoreOps:        poolOps,
+		StolenScoreShards:   st.StolenScoreShards,
 	}
 }
 

@@ -2,7 +2,6 @@ package runtime
 
 import (
 	"fmt"
-	gort "runtime"
 	"sync"
 
 	"github.com/adwise-go/adwise/internal/graph"
@@ -72,17 +71,29 @@ func (c SpotlightConfig) SpreadFor(i int) []int {
 // works. A stream that fails mid-pass fails the run even if its Runner
 // ignored the stream error contract.
 func RunSpotlightStreams(streams []stream.Stream, cfg SpotlightConfig, build func(i int, allowed []int) (Runner, error)) (*metrics.Assignment, error) {
+	a, _, err := RunSpotlightStreamsStats(streams, cfg, build)
+	return a, err
+}
+
+// RunSpotlightStreamsStats is RunSpotlightStreams plus per-instance
+// statistics: stats[i] is instance i's Stats if its Runner implements
+// Strategy (zero otherwise). With every instance scoring on the shared
+// work-stealing pool, per-instance counters remain correctly attributed —
+// each instance's score ops land in its own shard scratches no matter
+// which pool worker executed them — so summing stats across instances
+// (AggregateStats) neither double-counts nor loses pool-executed work.
+func RunSpotlightStreamsStats(streams []stream.Stream, cfg SpotlightConfig, build func(i int, allowed []int) (Runner, error)) (*metrics.Assignment, []Stats, error) {
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(streams) != cfg.Z {
-		return nil, fmt.Errorf("runtime: spotlight got %d streams for Z=%d instances", len(streams), cfg.Z)
+		return nil, nil, fmt.Errorf("runtime: spotlight got %d streams for Z=%d instances", len(streams), cfg.Z)
 	}
 	runners := make([]Runner, cfg.Z)
 	for i := range runners {
 		r, err := build(i, cfg.SpreadFor(i))
 		if err != nil {
-			return nil, fmt.Errorf("runtime: building spotlight instance %d: %w", i, err)
+			return nil, nil, fmt.Errorf("runtime: building spotlight instance %d: %w", i, err)
 		}
 		runners[i] = r
 	}
@@ -115,7 +126,7 @@ func RunSpotlightStreams(streams []stream.Stream, cfg SpotlightConfig, build fun
 	}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("runtime: spotlight instance %d: %w", i, err)
+			return nil, nil, fmt.Errorf("runtime: spotlight instance %d: %w", i, err)
 		}
 	}
 
@@ -126,10 +137,16 @@ func RunSpotlightStreams(streams []stream.Stream, cfg SpotlightConfig, build fun
 	merged := metrics.NewAssignment(cfg.K, total)
 	for _, res := range results {
 		if err := merged.Merge(res); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return merged, nil
+	stats := make([]Stats, cfg.Z)
+	for i, r := range runners {
+		if st, ok := r.(Strategy); ok {
+			stats[i] = st.Stats()
+		}
+	}
+	return merged, stats, nil
 }
 
 // RunSpotlight partitions an in-memory edge slice with Z parallel
@@ -153,37 +170,75 @@ func RunSpotlight(edges []graph.Edge, cfg SpotlightConfig, build func(i int, all
 	return RunSpotlightStreams(streams, cfg, build)
 }
 
-// divideScoreWorkers resolves an auto (zero) per-instance score-worker
-// count under parallel loading: the machine's cores split evenly among
-// the z concurrently running instances, so z instances × n workers never
-// oversubscribes. Sequential runs execute the instances one at a time,
-// so each may use the whole machine. An explicit spec value is honoured
-// as-is — the caller asked for that many shards per instance.
-func divideScoreWorkers(spec Spec, cfg SpotlightConfig) Spec {
-	if spec.ScoreWorkers == 0 {
-		z := cfg.Z
-		if cfg.Sequential {
-			z = 1
-		}
-		spec.ScoreWorkers = max(1, gort.GOMAXPROCS(0)/max(z, 1))
+// splitScoreWorkers resolves the per-instance logical scoring shard
+// counts under parallel loading. With total == 0 (auto) every instance
+// stays auto too — each resolves to GOMAXPROCS shards executing on the
+// process-wide work-stealing pool, which arbitrates the machine's cores
+// across instances dynamically, so there is nothing to divide and no core
+// is ever stranded. An explicit total is a per-run budget: it is
+// distributed across the z instances with the remainder spread over the
+// first total%z instances (never the floor-division of the historical
+// divideScoreWorkers, which stranded up to z−1 requested shards — 8
+// cores, z=3 → 6 workers), with every instance getting at least 1.
+// Sequential runs execute instances one at a time, so each may use the
+// full explicit total.
+func splitScoreWorkers(total, z int, sequential bool) []int {
+	shares := make([]int, max(z, 1))
+	if total == 0 {
+		return shares // all auto
 	}
-	return spec
+	if sequential {
+		for i := range shares {
+			shares[i] = total
+		}
+		return shares
+	}
+	base, rem := total/len(shares), total%len(shares)
+	for i := range shares {
+		shares[i] = base
+		if i < rem {
+			shares[i]++
+		}
+		if shares[i] < 1 {
+			shares[i] = 1
+		}
+	}
+	return shares
 }
 
 // RunStrategySpotlight is the registry-driven convenience: it partitions
 // edges with Z instances of the named strategy, each restricted to its
-// spread, with the per-instance seed offset, chunk-size hint, and divided
+// spread, with the per-instance seed offset, chunk-size hint, and
 // score-worker share the paper's setup uses.
 func RunStrategySpotlight(name string, edges []graph.Edge, cfg SpotlightConfig, spec Spec) (*metrics.Assignment, error) {
+	a, _, err := RunStrategySpotlightStats(name, edges, cfg, spec)
+	return a, err
+}
+
+// RunStrategySpotlightStats is RunStrategySpotlight plus the per-instance
+// Stats of RunSpotlightStreamsStats.
+func RunStrategySpotlightStats(name string, edges []graph.Edge, cfg SpotlightConfig, spec Spec) (*metrics.Assignment, []Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(edges) < cfg.Z {
+		return nil, nil, fmt.Errorf("runtime: spotlight needs at least Z=%d edges so every instance receives a chunk, got %d", cfg.Z, len(edges))
+	}
 	if spec.K == 0 {
 		spec.K = cfg.K
 	}
-	spec = divideScoreWorkers(spec, cfg)
+	shares := splitScoreWorkers(spec.ScoreWorkers, cfg.Z, cfg.Sequential)
 	chunkEdges := int64(len(edges)/max(cfg.Z, 1) + 1)
-	return RunSpotlight(edges, cfg, func(i int, allowed []int) (Runner, error) {
+	chunks := stream.Chunks(edges, cfg.Z)
+	streams := make([]stream.Stream, len(chunks))
+	for i, ch := range chunks {
+		streams[i] = stream.FromEdges(ch)
+	}
+	return RunSpotlightStreamsStats(streams, cfg, func(i int, allowed []int) (Runner, error) {
 		s := spec
 		s.Allowed = allowed
 		s.Seed = spec.Seed + uint64(i)
+		s.ScoreWorkers = shares[i]
 		if s.TotalEdgesHint == 0 {
 			s.TotalEdgesHint = chunkEdges
 		}
@@ -231,11 +286,12 @@ func RunStrategySpotlightFile(name, path string, cfg SpotlightConfig, spec Spec)
 	if spec.K == 0 {
 		spec.K = cfg.K
 	}
-	spec = divideScoreWorkers(spec, cfg)
+	shares := splitScoreWorkers(spec.ScoreWorkers, cfg.Z, cfg.Sequential)
 	return RunSpotlightStreams(streams, cfg, func(i int, allowed []int) (Runner, error) {
 		s := spec
 		s.Allowed = allowed
 		s.Seed = spec.Seed + uint64(i)
+		s.ScoreWorkers = shares[i]
 		if s.TotalEdgesHint == 0 {
 			s.TotalEdgesHint = ranges[i].Edges
 		}

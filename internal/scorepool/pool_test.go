@@ -1,0 +1,134 @@
+package scorepool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversEveryShardOnce drives passes of many sizes through pools of
+// several widths: every shard index must execute exactly once, whatever
+// mix of caller execution and stealing the scheduler produced.
+func TestRunCoversEveryShardOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := New(workers)
+		var pass Pass
+		for _, n := range []int{0, 1, 2, 7, 64, 500} {
+			counts := make([]int32, n)
+			stolen, helpers := p.Run(&pass, n, func(shard int) {
+				atomic.AddInt32(&counts[shard], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: shard %d ran %d times", workers, n, i, c)
+				}
+			}
+			if stolen > n {
+				t.Fatalf("workers=%d n=%d: stolen %d > shards", workers, n, stolen)
+			}
+			if helpers > workers {
+				t.Fatalf("workers=%d n=%d: helpers %d > pool width", workers, n, helpers)
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestStealIsForced pins the stealing path deterministically, single-core
+// machines included: the caller claims a shard whose body blocks until the
+// other shard has run. The caller cannot claim it (it is blocked inside
+// its first shard), so a pool worker must steal it — on every round.
+func TestStealIsForced(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var pass Pass
+	for round := 0; round < 25; round++ {
+		release := make(chan struct{})
+		var first atomic.Bool
+		stolen, helpers := p.Run(&pass, 2, func(shard int) {
+			if first.CompareAndSwap(false, true) {
+				<-release // block until the second shard's executor arrives
+			} else {
+				close(release)
+			}
+		})
+		if stolen < 1 {
+			t.Fatalf("round %d: stolen = %d, want >= 1 (two shards, one blocked executor)", round, stolen)
+		}
+		if helpers < 1 {
+			t.Fatalf("round %d: helpers = %d, want >= 1", round, helpers)
+		}
+	}
+}
+
+// TestConcurrentSubmitters mimics spotlight: several submitters share one
+// pool, each running many passes. All shards of all passes must complete,
+// and no pass may observe another pass's shards (the fn closure is
+// per-pass). Run under -race this exercises the claim/steal protocol.
+func TestConcurrentSubmitters(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const (
+		submitters = 6
+		passes     = 200
+		shards     = 8
+	)
+	var wg sync.WaitGroup
+	totals := make([]int64, submitters)
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var pass Pass
+			var local int64
+			for r := 0; r < passes; r++ {
+				p.Run(&pass, shards, func(shard int) {
+					atomic.AddInt64(&local, 1)
+				})
+			}
+			totals[s] = atomic.LoadInt64(&local)
+		}(s)
+	}
+	wg.Wait()
+	for s, got := range totals {
+		if want := int64(passes * shards); got != want {
+			t.Errorf("submitter %d executed %d shard bodies, want %d", s, got, want)
+		}
+	}
+}
+
+// TestRunAfterCloseRunsInline verifies the close contract: a pass
+// submitted after Close still completes, entirely on the caller.
+func TestRunAfterCloseRunsInline(t *testing.T) {
+	p := New(2)
+	p.Close()
+	var pass Pass
+	ran := make([]bool, 16)
+	stolen, _ := p.Run(&pass, len(ran), func(shard int) { ran[shard] = true })
+	if stolen != 0 {
+		t.Errorf("stolen = %d after Close, want 0", stolen)
+	}
+	for i, ok := range ran {
+		if !ok {
+			t.Errorf("shard %d did not run after Close", i)
+		}
+	}
+}
+
+// TestSharedSingleton pins the process-wide pool: same instance on every
+// call, sized to GOMAXPROCS at first use.
+func TestSharedSingleton(t *testing.T) {
+	a, b := Shared(), Shared()
+	if a != b {
+		t.Fatal("Shared returned two different pools")
+	}
+	if a.Workers() < 1 {
+		t.Fatalf("shared pool has %d workers", a.Workers())
+	}
+	var pass Pass
+	var n int32
+	a.Run(&pass, 4, func(int) { atomic.AddInt32(&n, 1) })
+	if n != 4 {
+		t.Fatalf("shared pool ran %d of 4 shards", n)
+	}
+}
