@@ -27,11 +27,14 @@ package adwise
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"os"
+	"time"
 
 	"github.com/adwise-go/adwise/internal/core"
 	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/metric"
 	"github.com/adwise-go/adwise/internal/metrics"
 	"github.com/adwise-go/adwise/internal/partition"
 	"github.com/adwise-go/adwise/internal/runtime"
@@ -295,6 +298,12 @@ func AggregateStrategyStats(stats []StrategyStats) StrategyStats {
 	return runtime.AggregateStats(stats)
 }
 
+// PublishStrategyStats pushes one pass's StrategyStats onto a telemetry
+// registry under the runtime.* metric names. A nil registry is a no-op.
+func PublishStrategyStats(reg *MetricRegistry, st StrategyStats) {
+	runtime.PublishStats(reg, st)
+}
+
 // RunSpotlightStreams partitions Z edge streams with Z parallel instances
 // built by build — the general executor behind both loading models: in-
 // memory chunks (RunSpotlight) and disjoint file byte ranges
@@ -357,4 +366,51 @@ func Serve(addr string, s *LookupStore) error {
 	srv := serve.NewServer(ServeHandler(s))
 	srv.Addr = addr
 	return srv.ListenAndServe()
+}
+
+// Telemetry. A MetricRegistry collects lock-free counters, gauges, and
+// latency histograms from the partitioning and serving layers; a
+// MetricsFlusher samples it on a cadence and pushes cumulative snapshots
+// to a sink (JSON lines, statsd line protocol, or any custom Sink). The
+// hot-path instruments are zero-alloc and a slow or failing sink can never
+// block them — overflow is dropped and self-reported on the registry.
+type (
+	// MetricRegistry is the registry instruments live on.
+	MetricRegistry = metric.Registry
+	// MetricSnapshot is one cumulative point-in-time view of a registry.
+	MetricSnapshot = metric.Snapshot
+	// MetricsFlusher samples a registry on a cadence into a sink.
+	MetricsFlusher = metric.Flusher
+	// MetricSink consumes flushed snapshots.
+	MetricSink = metric.Sink
+	// ServeInstruments bundles the lookup service's telemetry handles.
+	ServeInstruments = serve.Instruments
+)
+
+// NewMetricRegistry returns a telemetry registry on the real clock.
+func NewMetricRegistry() *MetricRegistry { return metric.New() }
+
+// NewMetricsFlusher returns an unstarted flusher sampling reg into sink
+// every interval. Start launches it; Stop performs one final flush.
+func NewMetricsFlusher(reg *MetricRegistry, sink MetricSink, interval time.Duration) *MetricsFlusher {
+	return metric.NewFlusher(reg, sink, interval)
+}
+
+// NewJSONLinesSink writes one JSON snapshot object per flush line to w.
+func NewJSONLinesSink(w io.Writer) MetricSink { return metric.NewJSONLines(w) }
+
+// NewStatsdSink emits statsd line protocol to w, prefixing every metric
+// name (empty prefix allowed). Counters become deltas, timers become
+// quantile |ms lines.
+func NewStatsdSink(w io.Writer, prefix string) MetricSink { return metric.NewStatsd(w, prefix) }
+
+// NewServeInstruments registers the lookup service's request counters,
+// latency histograms, and store gauge on reg.
+func NewServeInstruments(reg *MetricRegistry) *ServeInstruments { return serve.NewInstruments(reg) }
+
+// ServeHandlerInstrumented is ServeHandler plus telemetry: per-endpoint
+// counters and latency histograms on ins, a GET /v1/metrics snapshot
+// endpoint, and a metrics section in /v1/stats.
+func ServeHandlerInstrumented(s *LookupStore, ins *ServeInstruments) http.Handler {
+	return serve.NewInstrumentedHandler(s, ins)
 }

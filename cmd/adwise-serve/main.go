@@ -47,6 +47,7 @@ type options struct {
 	z, spread  int
 	seed       uint64
 	addr       string
+	metricsOut string
 }
 
 func parseArgs(args []string) (options, error) {
@@ -62,6 +63,7 @@ func parseArgs(args []string) (options, error) {
 	fs.IntVar(&o.spread, "spread", 0, "partitions per instance (default k/z, with -in)")
 	fs.Uint64Var(&o.seed, "seed", 42, "hash/graph seed")
 	fs.StringVar(&o.addr, "addr", ":8372", "listen address")
+	fs.StringVar(&o.metricsOut, "metrics-out", "", "write telemetry snapshots to this file as JSON lines (sampled every second)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -114,11 +116,12 @@ func loadAssignment(o options) (*adwise.Assignment, error) {
 	return s.Run(adwise.StreamGraph(g))
 }
 
-// newHandler wraps the lookup API and, when the service was started from
-// an assignment file, adds POST /v1/reload: re-read the file, rebuild the
+// newHandler wraps the instrumented lookup API (request counters, latency
+// histograms, GET /v1/metrics) and, when the service was started from an
+// assignment file, adds POST /v1/reload: re-read the file, rebuild the
 // index, and swap it in atomically.
-func newHandler(store *adwise.LookupStore, o options) http.Handler {
-	api := adwise.ServeHandler(store)
+func newHandler(store *adwise.LookupStore, ins *adwise.ServeInstruments, o options) http.Handler {
+	api := adwise.ServeHandlerInstrumented(store, ins)
 	if o.assignment == "" {
 		return api
 	}
@@ -156,11 +159,27 @@ func run(args []string) error {
 	fmt.Printf("index ready: k=%d edges=%d vertices=%d RF=%.3f shards=%d\n",
 		st.K, st.DistinctEdges, st.Vertices, st.ReplicationDegree, st.Shards)
 
+	// The service is always instrumented (GET /v1/metrics, metrics in
+	// /v1/stats); -metrics-out additionally samples the registry to a
+	// JSON-lines file once per second.
+	reg := adwise.NewMetricRegistry()
+	ins := adwise.NewServeInstruments(reg)
+	if o.metricsOut != "" {
+		f, err := os.Create(o.metricsOut)
+		if err != nil {
+			return fmt.Errorf("creating -metrics-out file: %w", err)
+		}
+		defer f.Close()
+		flusher := adwise.NewMetricsFlusher(reg, adwise.NewJSONLinesSink(f), time.Second)
+		flusher.Start()
+		defer flusher.Stop()
+	}
+
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
 	fmt.Printf("serving partition lookups on http://%s\n", ln.Addr())
-	return adwise.NewLookupServer(newHandler(store, o)).Serve(ln)
+	return adwise.NewLookupServer(newHandler(store, ins, o)).Serve(ln)
 }

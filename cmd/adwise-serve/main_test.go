@@ -46,7 +46,8 @@ func TestServeFromAssignment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(store, o))
+	ins := adwise.NewServeInstruments(adwise.NewMetricRegistry())
+	srv := httptest.NewServer(newHandler(store, ins, o))
 	defer srv.Close()
 
 	resp, err := srv.Client().Get(srv.URL + "/healthz")
@@ -108,7 +109,8 @@ func TestServeFromGraph(t *testing.T) {
 		t.Fatalf("stats = %+v, want k=4 and edges indexed", st)
 	}
 	// No -assignment: the reload endpoint is absent.
-	srv := httptest.NewServer(newHandler(store, o))
+	ins := adwise.NewServeInstruments(adwise.NewMetricRegistry())
+	srv := httptest.NewServer(newHandler(store, ins, o))
 	defer srv.Close()
 	resp, err := srv.Client().Post(srv.URL+"/v1/reload", "application/json", nil)
 	if err != nil {

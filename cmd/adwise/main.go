@@ -38,17 +38,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("adwise", flag.ContinueOnError)
 	var (
-		in      = fs.String("in", "", "input graph file (text edge list or .bin)")
-		k       = fs.Int("k", 32, "number of partitions")
-		algo    = fs.String("algo", "adwise", "strategy: "+strings.Join(adwise.StrategyNames(), ", "))
-		latency = fs.Duration("latency", 0, "ADWISE latency preference L (0 = single-edge behaviour)")
-		window  = fs.Int("window", 0, "ADWISE fixed window size (overrides -latency adaptation)")
-		workers = fs.Int("score-workers", 0, "ADWISE window-scoring shard budget (0 = auto: GOMAXPROCS shards per instance on the shared work-stealing pool; explicit values are distributed across the -z instances)")
-		z       = fs.Int("z", 1, "parallel partitioner instances")
-		spread  = fs.Int("spread", 0, "partitions per instance (default k/z)")
-		seed    = fs.Uint64("seed", 42, "hash/graph seed")
-		out     = fs.String("out", "", "write per-edge assignment TSV (src dst partition)")
-		verbose = fs.Bool("v", false, "print stats details")
+		in         = fs.String("in", "", "input graph file (text edge list or .bin)")
+		k          = fs.Int("k", 32, "number of partitions")
+		algo       = fs.String("algo", "adwise", "strategy: "+strings.Join(adwise.StrategyNames(), ", "))
+		latency    = fs.Duration("latency", 0, "ADWISE latency preference L (0 = single-edge behaviour)")
+		window     = fs.Int("window", 0, "ADWISE fixed window size (overrides -latency adaptation)")
+		workers    = fs.Int("score-workers", 0, "ADWISE window-scoring shard budget (0 = auto: GOMAXPROCS shards per instance on the shared work-stealing pool; explicit values are distributed across the -z instances)")
+		z          = fs.Int("z", 1, "parallel partitioner instances")
+		spread     = fs.Int("spread", 0, "partitions per instance (default k/z)")
+		seed       = fs.Uint64("seed", 42, "hash/graph seed")
+		out        = fs.String("out", "", "write per-edge assignment TSV (src dst partition)")
+		metricsOut = fs.String("metrics-out", "", "write telemetry snapshots to this file as JSON lines (sampled every second, final flush at exit)")
+		verbose    = fs.Bool("v", false, "print stats details")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,8 +61,24 @@ func run(args []string) error {
 		return fmt.Errorf("-k must be >= 1")
 	}
 
+	// With -metrics-out the run is instrumented: pool pass/steal counters
+	// and ingest progress tick live while the pass runs, sampled to the
+	// file once per second; Stop guarantees a final cumulative snapshot.
+	var reg *adwise.MetricRegistry
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return fmt.Errorf("creating -metrics-out file: %w", err)
+		}
+		defer f.Close()
+		reg = adwise.NewMetricRegistry()
+		flusher := adwise.NewMetricsFlusher(reg, adwise.NewJSONLinesSink(f), time.Second)
+		flusher.Start()
+		defer flusher.Stop()
+	}
+
 	start := time.Now()
-	a, err := partitionInput(*in, *algo, *k, *z, *spread, *seed, *latency, *window, *workers)
+	a, err := partitionInput(*in, *algo, *k, *z, *spread, *seed, *latency, *window, *workers, reg)
 	if err != nil {
 		return err
 	}
@@ -91,8 +108,8 @@ func run(args []string) error {
 	return nil
 }
 
-func partitionInput(in, algo string, k, z, spread int, seed uint64, latency time.Duration, window, workers int) (*adwise.Assignment, error) {
-	spec := adwise.StrategySpec{K: k, Seed: seed, Latency: latency, Window: window, ScoreWorkers: workers}
+func partitionInput(in, algo string, k, z, spread int, seed uint64, latency time.Duration, window, workers int, reg *adwise.MetricRegistry) (*adwise.Assignment, error) {
+	spec := adwise.StrategySpec{K: k, Seed: seed, Latency: latency, Window: window, ScoreWorkers: workers, Metrics: reg}
 	if z > 1 {
 		if spread == 0 {
 			spread = k / z
@@ -113,5 +130,10 @@ func partitionInput(in, algo string, k, z, spread int, seed uint64, latency time
 	}
 	defer fs.Close()
 	fmt.Printf("streaming %s: %d edges\n", in, fs.Remaining())
-	return s.Run(fs)
+	a, err := s.Run(fs)
+	if err != nil {
+		return nil, err
+	}
+	adwise.PublishStrategyStats(reg, s.Stats())
+	return a, nil
 }

@@ -39,6 +39,7 @@ func Experiments() []Experiment {
 		{"ablation-order", "DESIGN §3", AblationOrder},
 		{"ingest", "§III-D loading", Ingest},
 		{"scoring", "§III-B scoring", Scoring},
+		{"serve", "§II serving", Serve},
 	}
 }
 

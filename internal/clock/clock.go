@@ -15,12 +15,42 @@ type Clock interface {
 	Now() time.Time
 }
 
+// Ticker delivers ticks at a fixed interval, like time.Ticker: slow
+// receivers miss ticks rather than queueing them.
+type Ticker interface {
+	// C returns the tick delivery channel.
+	C() <-chan time.Time
+	// Stop ends tick delivery. It does not close the channel.
+	Stop()
+}
+
+// TickerClock is a Clock that can also drive periodic work. Real tickers
+// fire on the wall clock; Fake tickers fire from Advance, so control loops
+// built on a TickerClock (the metric flusher's cadence, for one) are
+// deterministic in tests.
+type TickerClock interface {
+	Clock
+	// NewTicker returns a ticker firing every d. It panics if d <= 0,
+	// matching time.NewTicker.
+	NewTicker(d time.Duration) Ticker
+}
+
 // Real is a Clock backed by the system wall clock. The zero value is ready
 // to use.
 type Real struct{}
 
 // Now implements Clock.
 func (Real) Now() time.Time { return time.Now() }
+
+// NewTicker implements TickerClock via time.NewTicker.
+func (Real) NewTicker(d time.Duration) Ticker {
+	return realTicker{time.NewTicker(d)}
+}
+
+type realTicker struct{ t *time.Ticker }
+
+func (rt realTicker) C() <-chan time.Time { return rt.t.C }
+func (rt realTicker) Stop()               { rt.t.Stop() }
 
 // Fake is a manually advanced Clock for tests. The zero value starts at the
 // zero time; use NewFake to pick an epoch. Fake is safe for concurrent use.
@@ -30,6 +60,10 @@ type Fake struct {
 	// Step, if non-zero, is added to the clock on every Now call, modelling
 	// work that takes a fixed amount of time per observation.
 	step time.Duration
+	// tickers holds the live fake tickers; Advance fires them. The auto
+	// step applied by Now never fires tickers — only Advance does, so tick
+	// delivery is always an explicit act of the test.
+	tickers []*fakeTicker
 }
 
 // NewFake returns a Fake clock reading t.
@@ -47,11 +81,67 @@ func (f *Fake) Now() time.Time {
 	return t
 }
 
-// Advance moves the clock forward by d.
+// Advance moves the clock forward by d, delivering at most one pending
+// tick to each ticker whose next fire time was reached — time.Ticker's
+// drop-missed-ticks semantics, compressed: a giant Advance over many
+// intervals still delivers a single tick.
 func (f *Fake) Advance(d time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.now = f.now.Add(d)
+	for _, t := range f.tickers {
+		t.fireLocked(f.now)
+	}
+}
+
+// NewTicker implements TickerClock: the returned ticker fires from
+// Advance. It panics if d <= 0, matching time.NewTicker.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive Fake ticker interval")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTicker{
+		f:        f,
+		ch:       make(chan time.Time, 1),
+		interval: d,
+		next:     f.now.Add(d),
+	}
+	f.tickers = append(f.tickers, t)
+	return t
+}
+
+type fakeTicker struct {
+	f        *Fake
+	ch       chan time.Time
+	interval time.Duration
+	next     time.Time
+	stopped  bool
+}
+
+func (t *fakeTicker) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTicker) Stop() {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	t.stopped = true
+}
+
+// fireLocked delivers one tick if now reached the next fire time, then
+// re-arms strictly past now. Callers hold f.mu; the send is non-blocking,
+// so a receiver that fell behind loses ticks instead of stalling Advance.
+func (t *fakeTicker) fireLocked(now time.Time) {
+	if t.stopped || t.next.After(now) {
+		return
+	}
+	select {
+	case t.ch <- t.next:
+	default:
+	}
+	elapsed := now.Sub(t.next)
+	steps := elapsed/t.interval + 1
+	t.next = t.next.Add(steps * t.interval)
 }
 
 // SetStep configures the auto-advance step applied on every Now call.

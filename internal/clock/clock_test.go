@@ -51,6 +51,105 @@ func TestFakeClockStep(t *testing.T) {
 	}
 }
 
+func TestFakeTickerFiresOnAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	defer tk.Stop()
+
+	select {
+	case tick := <-tk.C():
+		t.Fatalf("ticker fired at %v before any Advance", tick)
+	default:
+	}
+
+	f.Advance(time.Second)
+	select {
+	case tick := <-tk.C():
+		if !tick.Equal(time.Unix(1, 0)) {
+			t.Errorf("first tick at %v, want %v", tick, time.Unix(1, 0))
+		}
+	default:
+		t.Fatal("no tick after advancing one interval")
+	}
+
+	// A sub-interval advance must not fire.
+	f.Advance(500 * time.Millisecond)
+	select {
+	case tick := <-tk.C():
+		t.Fatalf("ticker fired at %v after a half-interval advance", tick)
+	default:
+	}
+
+	// Completing the second interval fires the second tick.
+	f.Advance(500 * time.Millisecond)
+	select {
+	case tick := <-tk.C():
+		if !tick.Equal(time.Unix(2, 0)) {
+			t.Errorf("second tick at %v, want %v", tick, time.Unix(2, 0))
+		}
+	default:
+		t.Fatal("no tick after completing the second interval")
+	}
+}
+
+func TestFakeTickerDropsMissedTicks(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	defer tk.Stop()
+
+	// Ten intervals pass with nobody receiving: exactly one tick is
+	// pending (time.Ticker semantics), and the ticker re-arms past now.
+	f.Advance(10 * time.Second)
+	f.Advance(10 * time.Second)
+	got := 0
+	for {
+		select {
+		case <-tk.C():
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if got != 1 {
+		t.Fatalf("%d ticks pending after 20 unconsumed intervals, want 1", got)
+	}
+
+	// The next interval after catch-up fires normally.
+	f.Advance(time.Second)
+	select {
+	case tick := <-tk.C():
+		if !tick.Equal(time.Unix(21, 0)) {
+			t.Errorf("post-catch-up tick at %v, want %v", tick, time.Unix(21, 0))
+		}
+	default:
+		t.Fatal("no tick after catch-up interval")
+	}
+}
+
+func TestFakeTickerStop(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	tk.Stop()
+	f.Advance(5 * time.Second)
+	select {
+	case tick := <-tk.C():
+		t.Fatalf("stopped ticker fired at %v", tick)
+	default:
+	}
+}
+
+func TestRealTicker(t *testing.T) {
+	var c Real
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("real ticker never fired")
+	}
+}
+
 func TestFakeClockConcurrentUse(t *testing.T) {
 	f := NewFake(time.Unix(0, 0))
 	f.SetStep(time.Millisecond)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/adwise-go/adwise/internal/clock"
+	"github.com/adwise-go/adwise/internal/metric"
 	"github.com/adwise-go/adwise/internal/metrics"
 	"github.com/adwise-go/adwise/internal/scorepool"
 	"github.com/adwise-go/adwise/internal/stream"
@@ -43,7 +44,8 @@ type config struct {
 	totalEdges    int64 // m hint when the stream cannot report it
 	scoreWorkers  int   // window-scoring logical shards; 0 = auto (GOMAXPROCS)
 	pool          *scorepool.Pool
-	poolSet       bool // WithScorePool was used (nil is a meaningful value)
+	poolSet       bool             // WithScorePool was used (nil is a meaningful value)
+	metrics       *metric.Registry // nil → no telemetry published
 }
 
 // Option configures an ADWISE partitioner.
@@ -289,6 +291,10 @@ func New(k int, opts ...Option) (*Adwise, error) {
 		execPool = scorepool.Shared()
 	}
 	pool := newScorePool(execPool, shards, k, len(parts))
+	if cfg.metrics != nil {
+		pool.mPasses = cfg.metrics.Counter(MetricPoolPasses)
+		pool.mStolen = cfg.metrics.Counter(MetricStolenShards)
+	}
 	return &Adwise{
 		cfg:    cfg,
 		parts:  parts,
@@ -438,6 +444,7 @@ func (a *Adwise) Run(s stream.Stream) (*metrics.Assignment, error) {
 	a.stats.Demotions = a.win.demotions
 	a.stats.Reassessments = a.win.reassessments
 	a.stats.SecondaryRescans = a.win.rescans
+	a.publishRunMetrics()
 	return asn, nil
 }
 

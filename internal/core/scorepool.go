@@ -1,6 +1,7 @@
 package core
 
 import (
+	"github.com/adwise-go/adwise/internal/metric"
 	"github.com/adwise-go/adwise/internal/scorepool"
 )
 
@@ -57,6 +58,12 @@ type scorePool struct {
 	passes      int64
 	stolen      int64
 	helpersPeak int
+
+	// mPasses/mStolen, when set (WithMetrics), mirror the pass and steal
+	// counters onto a live telemetry registry. They tick once per pool
+	// pass — never per edge — so the scoring hot loop is untouched.
+	mPasses *metric.Counter
+	mStolen *metric.Counter
 }
 
 // Grain thresholds: below these sizes the dispatch overhead exceeds the
@@ -100,6 +107,9 @@ func (p *scorePool) forEach(items, minPerShard int, fn func(shard, lo, hi int)) 
 		return false
 	}
 	p.passes++
+	if p.mPasses != nil {
+		p.mPasses.Inc(1)
+	}
 	stolen, helpers := p.pool.Run(&p.pass, p.n, func(shard int) {
 		lo, hi := p.shard(shard, items)
 		if lo < hi {
@@ -107,6 +117,9 @@ func (p *scorePool) forEach(items, minPerShard int, fn func(shard, lo, hi int)) 
 		}
 	})
 	p.stolen += int64(stolen)
+	if p.mStolen != nil && stolen > 0 {
+		p.mStolen.Inc(int64(stolen))
+	}
 	if helpers > p.helpersPeak {
 		p.helpersPeak = helpers
 	}

@@ -1,0 +1,194 @@
+package metric
+
+import (
+	"sync"
+	"time"
+
+	"github.com/adwise-go/adwise/internal/clock"
+)
+
+// Self-reported flusher health metrics, registered on the flushed
+// registry so they ride along in every snapshot.
+const (
+	// DroppedMetric counts snapshots dropped because the sink could not
+	// keep up (bounded queue full) — the sink-failure contract: producers
+	// and the flush cadence are never blocked by a slow sink.
+	DroppedMetric = "metric.dropped"
+	// SinkErrorsMetric counts sink Emit calls that returned an error; the
+	// snapshot is lost but the flusher carries on.
+	SinkErrorsMetric = "metric.sink_errors"
+	// FlushesMetric counts snapshots successfully handed to the sink
+	// goroutine (not necessarily yet written).
+	FlushesMetric = "metric.flushes"
+)
+
+// Sink receives registry snapshots. Emit is called from a single
+// dedicated goroutine, so implementations need no internal locking; a
+// slow or failing Emit delays only that goroutine — the flush cadence
+// drops snapshots instead of waiting (see DroppedMetric).
+type Sink interface {
+	Emit(s *Snapshot) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(s *Snapshot) error
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(s *Snapshot) error { return f(s) }
+
+// Flusher snapshots a registry on a fixed cadence and hands the snapshots
+// to a sink asynchronously. The pipeline is
+//
+//	producers → (atomics) → Registry … ticker → Snapshot → bounded queue → sink goroutine → Sink.Emit
+//
+// The queue is the isolation boundary: when the sink wedges, the queue
+// fills, subsequent snapshots are dropped-and-counted, and neither the
+// producers nor the ticker loop ever block.
+type Flusher struct {
+	reg      *Registry
+	sink     Sink
+	interval time.Duration
+	grace    time.Duration
+
+	dropped  *Counter
+	sinkErrs *Counter
+	flushes  *Counter
+
+	queue    chan *Snapshot
+	stopc    chan struct{}
+	loopDone chan struct{}
+	emitDone chan struct{}
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+}
+
+// FlusherOption configures a Flusher.
+type FlusherOption func(*Flusher)
+
+// WithQueueDepth sets how many pending snapshots may await a slow sink
+// before drops begin (default 4).
+func WithQueueDepth(n int) FlusherOption {
+	return func(f *Flusher) {
+		if n > 0 {
+			f.queue = make(chan *Snapshot, n)
+		}
+	}
+}
+
+// WithStopGrace bounds how long Stop waits (in real time) for a wedged
+// sink before abandoning it (default 1s). A healthy sink finishes the
+// final flush well inside any grace; a sink blocked forever must not
+// wedge process shutdown.
+func WithStopGrace(d time.Duration) FlusherOption {
+	return func(f *Flusher) {
+		if d > 0 {
+			f.grace = d
+		}
+	}
+}
+
+// NewFlusher returns an unstarted flusher for reg with the given sink and
+// cadence. interval must be positive. The flusher's health counters
+// (metric.dropped, metric.sink_errors, metric.flushes) are registered on
+// reg immediately, so they appear in snapshots even before Start.
+func NewFlusher(reg *Registry, sink Sink, interval time.Duration, opts ...FlusherOption) *Flusher {
+	if interval <= 0 {
+		panic("metric: non-positive flush interval")
+	}
+	f := &Flusher{
+		reg:      reg,
+		sink:     sink,
+		interval: interval,
+		grace:    time.Second,
+		dropped:  reg.Counter(DroppedMetric),
+		sinkErrs: reg.Counter(SinkErrorsMetric),
+		flushes:  reg.Counter(FlushesMetric),
+		queue:    make(chan *Snapshot, 4),
+		stopc:    make(chan struct{}),
+		loopDone: make(chan struct{}),
+		emitDone: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	return f
+}
+
+// Start launches the ticker loop and the sink goroutine. The cadence
+// runs on the registry clock when it supports tickers (clock.Real does;
+// clock.Fake fires from Advance, making tests deterministic); a
+// plain Clock without ticker support falls back to a wall-clock ticker
+// for cadence while timestamps stay on the registry clock.
+func (f *Flusher) Start() {
+	f.startOnce.Do(func() {
+		var tclk clock.TickerClock
+		if tc, ok := f.reg.Clock().(clock.TickerClock); ok {
+			tclk = tc
+		} else {
+			tclk = clock.Real{}
+		}
+		ticker := tclk.NewTicker(f.interval)
+		go f.emitLoop()
+		go func() {
+			defer close(f.loopDone)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-f.stopc:
+					return
+				case <-ticker.C():
+					f.enqueue()
+				}
+			}
+		}()
+	})
+}
+
+// enqueue snapshots the registry and offers it to the sink goroutine
+// without ever blocking: a full queue (slow sink) drops the snapshot and
+// counts it.
+func (f *Flusher) enqueue() {
+	snap := f.reg.Snapshot()
+	select {
+	case f.queue <- snap:
+		f.flushes.Inc(1)
+	default:
+		f.dropped.Inc(1)
+	}
+}
+
+// emitLoop is the single sink goroutine: it drains the queue into
+// Sink.Emit until the queue closes.
+func (f *Flusher) emitLoop() {
+	defer close(f.emitDone)
+	for snap := range f.queue {
+		if err := f.sink.Emit(snap); err != nil {
+			f.sinkErrs.Inc(1)
+		}
+	}
+}
+
+// Stop halts the cadence, attempts one final flush (so short-lived CLI
+// runs always emit at least the end state), and waits — bounded by the
+// stop grace — for the sink goroutine to drain. A wedged sink is
+// abandoned, never waited on forever. Stop is idempotent; a never-started
+// flusher stops cleanly.
+func (f *Flusher) Stop() {
+	f.stopOnce.Do(func() {
+		close(f.stopc)
+		f.startOnce.Do(func() {
+			// Never started: no loops to wind down, but run the final-flush
+			// path below against a closed queue for uniformity.
+			close(f.loopDone)
+			go f.emitLoop()
+		})
+		<-f.loopDone
+		f.enqueue()
+		close(f.queue)
+		select {
+		case <-f.emitDone:
+		case <-time.After(f.grace):
+		}
+	})
+}

@@ -1,0 +1,259 @@
+package metric
+
+import (
+	gort "runtime"
+	"testing"
+	"time"
+
+	"github.com/adwise-go/adwise/internal/clock"
+)
+
+// gosched yields between spin-wait probes; metric tests never sleep.
+func gosched() { gort.Gosched() }
+
+// chanSink delivers every emitted snapshot to a channel, so tests wait on
+// real flush completion instead of sleeping.
+type chanSink struct {
+	snaps chan *Snapshot
+}
+
+func newChanSink() *chanSink { return &chanSink{snaps: make(chan *Snapshot, 64)} }
+
+func (cs *chanSink) Emit(s *Snapshot) error {
+	cs.snaps <- s
+	return nil
+}
+
+func (cs *chanSink) wait(t *testing.T) *Snapshot {
+	t.Helper()
+	select {
+	case s := <-cs.snaps:
+		return s
+	case <-time.After(10 * time.Second):
+		t.Fatal("no flush arrived at the sink")
+		return nil
+	}
+}
+
+// blockingSink blocks every Emit until released — the pathological slow
+// sink of the failure-semantics contract.
+type blockingSink struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newBlockingSink() *blockingSink {
+	return &blockingSink{entered: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (bs *blockingSink) Emit(s *Snapshot) error {
+	bs.entered <- struct{}{}
+	<-bs.release
+	return nil
+}
+
+func TestFlusherCadenceOnFakeClock(t *testing.T) {
+	fake := clock.NewFake(time.Unix(100, 0))
+	r := New(WithClock(fake), WithCounterStripes(1))
+	reqs := r.Counter("reqs")
+	sink := newChanSink()
+	f := NewFlusher(r, sink, time.Second)
+	f.Start()
+	defer f.Stop()
+
+	reqs.Inc(3)
+	fake.Advance(time.Second)
+	snap := sink.wait(t)
+	if p, ok := snap.Counter("reqs"); !ok || p.Value != 3 {
+		t.Fatalf("first flush reqs = %+v ok=%v, want 3", p, ok)
+	}
+	if !snap.At.Equal(time.Unix(101, 0)) {
+		t.Errorf("first flush At = %v, want %v (fake-clock timestamps)", snap.At, time.Unix(101, 0))
+	}
+
+	// No advance → no flush: cadence is clock-driven, not wall-driven.
+	select {
+	case s := <-sink.snaps:
+		t.Fatalf("flush at %v without the clock advancing", s.At)
+	default:
+	}
+
+	reqs.Inc(2)
+	fake.Advance(time.Second)
+	snap = sink.wait(t)
+	if p, _ := snap.Counter("reqs"); p.Value != 5 {
+		t.Errorf("second flush reqs = %d, want cumulative 5", p.Value)
+	}
+}
+
+func TestFlusherTimerQuantilesInSnapshots(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	r := New(WithClock(fake))
+	lat := r.Timer("lat")
+	for i := 1; i <= 100; i++ {
+		lat.Observe(time.Duration(i) * time.Millisecond)
+	}
+	sink := newChanSink()
+	f := NewFlusher(r, sink, 5*time.Second)
+	f.Start()
+	defer f.Stop()
+
+	fake.Advance(5 * time.Second)
+	snap := sink.wait(t)
+	tp, ok := snap.Timer("lat")
+	if !ok || tp.Count != 100 {
+		t.Fatalf("timer point = %+v ok=%v, want count 100", tp, ok)
+	}
+	if !within(time.Duration(tp.P50Ns), 50*time.Millisecond, 0.05) {
+		t.Errorf("flushed P50 = %v, want ≈ 50ms", time.Duration(tp.P50Ns))
+	}
+	if !within(time.Duration(tp.P99Ns), 99*time.Millisecond, 0.05) {
+		t.Errorf("flushed P99 = %v, want ≈ 99ms", time.Duration(tp.P99Ns))
+	}
+}
+
+func TestBlockingSinkDropsNeverBlocks(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	r := New(WithClock(fake), WithCounterStripes(1))
+	hot := r.Counter("hot")
+	bs := newBlockingSink()
+	f := NewFlusher(r, bs, time.Second, WithQueueDepth(1), WithStopGrace(10*time.Millisecond))
+	f.Start()
+
+	// First flush reaches the sink and wedges there.
+	fake.Advance(time.Second)
+	select {
+	case <-bs.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sink never entered Emit")
+	}
+
+	// With the sink wedged and the queue (depth 1) filling, further
+	// cadence ticks must drop — and must never block the ticker loop or
+	// producers. Each Advance returns promptly by construction (fake
+	// clock; non-blocking enqueue); the hot path stays callable
+	// throughout. Every processed tick bumps exactly one of
+	// flushes/dropped, so waiting on their sum serializes the ticks
+	// without sleeping.
+	processed := func() int64 {
+		s := r.Snapshot()
+		d, _ := s.Counter(DroppedMetric)
+		fl, _ := s.Counter(FlushesMetric)
+		return d.Value + fl.Value
+	}
+	waitProcessed := func(target int64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for processed() < target {
+			if time.Now().After(deadline) {
+				t.Fatalf("flusher processed %d ticks, want %d", processed(), target)
+			}
+			gosched()
+		}
+	}
+	waitProcessed(1) // the wedged first flush
+	const extraTicks = 5
+	for i := 0; i < extraTicks; i++ {
+		hot.Inc(1)
+		target := processed() + 1
+		fake.Advance(time.Second)
+		waitProcessed(target)
+	}
+	// One post-wedge snapshot fit the depth-1 queue; every later tick
+	// dropped. Drops are counted on the registry itself (the
+	// self-reporting contract).
+	if d, _ := r.Snapshot().Counter(DroppedMetric); d.Value < extraTicks-1 {
+		t.Fatalf("dropped = %d, want >= %d: slow sink did not shed load", d.Value, extraTicks-1)
+	}
+	if got := hot.Value(); got != extraTicks {
+		t.Errorf("hot-path counter = %d, want %d: producer was perturbed", got, extraTicks)
+	}
+
+	// Stop must return despite the wedged sink (bounded by the grace),
+	// then releasing the sink must not panic anything.
+	done := make(chan struct{})
+	go func() { f.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop blocked on a wedged sink")
+	}
+	close(bs.release)
+}
+
+func TestFlusherHotPathZeroAllocWhileFlushing(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	r := New(WithClock(fake))
+	c := r.Counter("hot")
+	sink := newChanSink()
+	f := NewFlusher(r, sink, time.Second)
+	f.Start()
+	defer f.Stop()
+	fake.Advance(time.Second)
+	sink.wait(t)
+	if allocs := testing.AllocsPerRun(1000, func() { c.Inc(1) }); allocs != 0 {
+		t.Errorf("Counter.Inc allocates %.1f/op with a flusher attached, want 0", allocs)
+	}
+}
+
+func TestStopFlushesFinalSnapshot(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	r := New(WithClock(fake), WithCounterStripes(1))
+	r.Counter("final").Inc(9)
+	sink := newChanSink()
+	f := NewFlusher(r, sink, time.Hour) // cadence never fires
+	f.Start()
+	f.Stop()
+	snap := sink.wait(t)
+	if p, ok := snap.Counter("final"); !ok || p.Value != 9 {
+		t.Errorf("final flush counter = %+v ok=%v, want 9", p, ok)
+	}
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	r := New(WithClock(clock.NewFake(time.Unix(0, 0))), WithCounterStripes(1))
+	r.Counter("x").Inc(1)
+	sink := newChanSink()
+	f := NewFlusher(r, sink, time.Second)
+	f.Stop() // must not hang or panic; still emits the final state
+	snap := sink.wait(t)
+	if p, ok := snap.Counter("x"); !ok || p.Value != 1 {
+		t.Errorf("unstarted Stop flush = %+v ok=%v, want 1", p, ok)
+	}
+}
+
+func TestErroringSinkCountedAndSurvived(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	r := New(WithClock(fake), WithCounterStripes(1))
+	emitted := make(chan struct{}, 16)
+	sink := SinkFunc(func(s *Snapshot) error {
+		emitted <- struct{}{}
+		return errSink
+	})
+	f := NewFlusher(r, sink, time.Second)
+	f.Start()
+	defer f.Stop()
+
+	fake.Advance(time.Second)
+	<-emitted
+	fake.Advance(time.Second)
+	<-emitted
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if p, _ := r.Snapshot().Counter(SinkErrorsMetric); p.Value >= 2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			p, _ := r.Snapshot().Counter(SinkErrorsMetric)
+			t.Fatalf("sink_errors = %d, want >= 2", p.Value)
+		}
+		gosched()
+	}
+}
+
+var errSink = errFixed("sink exploded")
+
+type errFixed string
+
+func (e errFixed) Error() string { return string(e) }

@@ -1,0 +1,262 @@
+// Package metric is the runtime telemetry layer: lock-free buffered
+// counters, gauges, and timers, flushed asynchronously to pluggable sinks
+// (JSON lines, statsd line protocol).
+//
+// The design follows the gone/metric mold adapted to this repo's
+// invariants:
+//
+//   - Hot-path operations — Counter.Inc, Gauge.Set, Timer.Observe — are
+//     zero-alloc and lock-free (atomic, with counters striped across
+//     padded cache lines), so they are safe to call from score-pool
+//     workers and the serving read path without perturbing either.
+//   - Aggregation state lives client-side: a Timer is a log-bucketed
+//     histogram of atomics, not a stream of events, so observation cost
+//     is independent of flush health.
+//   - The flusher goroutine snapshots the registry on a clock-driven
+//     cadence and hands snapshots to a sink over a bounded queue; a slow
+//     or failing sink drops snapshots (self-reported via the
+//     "metric.dropped" counter) and can never block or slow producers.
+//   - Time is injected (internal/clock): with a Fake clock, flush cadence
+//     and timer measurements are fully deterministic in tests.
+package metric
+
+import (
+	"fmt"
+	gort "runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"github.com/adwise-go/adwise/internal/clock"
+)
+
+// defaultStripes sizes counter striping to the machine: one stripe per
+// core (rounded up to a power of two by newCounter), capped so a counter
+// on a very wide box stays a few KiB.
+func defaultStripes() int {
+	n := gort.GOMAXPROCS(0)
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// cacheLine is the padding granularity separating counter stripes so two
+// cores incrementing different stripes never share a line.
+const cacheLine = 64
+
+// stripe is one padded counter cell.
+type stripe struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Counter is a monotonically accumulating metric (requests served, edges
+// streamed, shards stolen). Increments are striped across padded atomic
+// cells indexed by a goroutine-stable hash, so GOMAXPROCS goroutines
+// hammering one counter mostly touch distinct cache lines. Inc is
+// zero-alloc and lock-free; Value folds the stripes.
+type Counter struct {
+	stripes []stripe
+	mask    uint32
+}
+
+func newCounter(stripes int) *Counter {
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	return &Counter{stripes: make([]stripe, n), mask: uint32(n - 1)}
+}
+
+// stripeIndex derives a goroutine-stable stripe choice from the address
+// of a stack local: distinct goroutines run on distinct stacks, so their
+// hot loops land on distinct stripes, while one goroutine keeps hitting
+// the same stripe (no cache-line migration). The pointer never escapes —
+// it is immediately reduced to an integer — so the hot path stays
+// zero-alloc. Collisions only cost sharing, never correctness.
+func stripeIndex() uint32 {
+	var probe byte
+	p := uintptr(unsafe.Pointer(&probe))
+	return uint32((p >> 6) ^ (p >> 16))
+}
+
+// Inc adds n to the counter. Safe for unbounded concurrency; zero-alloc.
+func (c *Counter) Inc(n int64) {
+	c.stripes[stripeIndex()&c.mask].v.Add(n)
+}
+
+// Value returns the current total, folding all stripes. Concurrent
+// increments may or may not be included — Value is a monotone snapshot,
+// not a linearization point.
+func (c *Counter) Value() int64 {
+	var total int64
+	for i := range c.stripes {
+		total += c.stripes[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is a last-write-wins instantaneous value (live window size, store
+// generation, queue depth). Set/Add are single atomics: zero-alloc,
+// lock-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// kind tags a registered metric name, so one name cannot be two types.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindTimer
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "timer"
+	}
+}
+
+// Registry owns a namespace of metrics and the clock they measure with.
+// Metric lookup/registration takes a lock and may allocate — resolve
+// metrics once at construction time and retain the typed handles; only
+// the handle operations are hot-path safe.
+type Registry struct {
+	clk     clock.Clock
+	stripes int
+	started time.Time
+
+	mu       sync.Mutex
+	kinds    map[string]kind
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// Option configures a Registry.
+type Option func(*Registry)
+
+// WithClock substitutes the time source (default clock.Real{}). Timer
+// measurement helpers and flushers attached to the registry inherit it; a
+// clock.Fake makes both deterministic.
+func WithClock(clk clock.Clock) Option {
+	return func(r *Registry) { r.clk = clk }
+}
+
+// WithCounterStripes overrides the stripe count of newly created counters
+// (default: GOMAXPROCS at registry creation, rounded up to a power of
+// two). Tests pin it to 1 to make Value exact mid-increment.
+func WithCounterStripes(n int) Option {
+	return func(r *Registry) {
+		if n > 0 {
+			r.stripes = n
+		}
+	}
+}
+
+// New returns an empty registry.
+func New(opts ...Option) *Registry {
+	r := &Registry{
+		clk:      clock.Real{},
+		stripes:  defaultStripes(),
+		kinds:    make(map[string]kind),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	r.started = r.clk.Now()
+	return r
+}
+
+// Clock returns the registry's time source.
+func (r *Registry) Clock() clock.Clock { return r.clk }
+
+// StartedAt returns the registry creation time on its own clock.
+func (r *Registry) StartedAt() time.Time { return r.started }
+
+// Uptime returns the time elapsed since registry creation.
+func (r *Registry) Uptime() time.Duration { return r.clk.Now().Sub(r.started) }
+
+// Counter returns the counter registered under name, creating it on first
+// use. It panics if name is already registered as a different metric type
+// — registration happens at construction time and a collision is a
+// programming error, exactly like a duplicate strategy registration.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, kindCounter)
+	c, ok := r.counters[name]
+	if !ok {
+		c = newCounter(r.stripes)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, kindGauge)
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the timer registered under name, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, kindTimer)
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{clk: r.clk}
+		r.timers[name] = t
+	}
+	return t
+}
+
+func (r *Registry) checkKind(name string, want kind) {
+	if have, ok := r.kinds[name]; ok {
+		if have != want {
+			panic(fmt.Sprintf("metric: %q already registered as a %s, requested as a %s", name, have, want))
+		}
+		return
+	}
+	r.kinds[name] = want
+}
+
+// sortedNames returns the registered names of one kind in stable order,
+// so snapshots and sink output are diffable.
+func sortedNames[M any](m map[string]M) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

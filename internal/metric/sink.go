@@ -1,0 +1,83 @@
+package metric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// JSONLines is a Sink writing one JSON object per snapshot per line —
+// the machine-readable capture format behind the CLIs' -metrics-out
+// flag. It is driven from the flusher's single sink goroutine and needs
+// no locking of its own.
+type JSONLines struct {
+	enc *json.Encoder
+}
+
+// NewJSONLines returns a JSON-lines sink over w.
+func NewJSONLines(w io.Writer) *JSONLines {
+	return &JSONLines{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink: one compact JSON line per snapshot.
+func (j *JSONLines) Emit(s *Snapshot) error { return j.enc.Encode(s) }
+
+// Statsd is a Sink speaking the statsd line protocol ("name:value|type",
+// newline-separated) to any writer — typically a UDP conn. Counters are
+// emitted as deltas against the previous snapshot (the statsd counter
+// contract); gauges as absolute values; timers as one "|ms" line per
+// aggregate (count, p50, p90, p99, max), since the client aggregates
+// histograms locally instead of shipping raw observations.
+type Statsd struct {
+	w      io.Writer
+	prefix string
+	// prev holds the counter values of the last emitted snapshot, for
+	// delta computation. Only the flusher's sink goroutine touches it.
+	prev map[string]int64
+	buf  strings.Builder
+}
+
+// NewStatsd returns a statsd sink over w. A non-empty prefix is joined to
+// every metric name with a dot.
+func NewStatsd(w io.Writer, prefix string) *Statsd {
+	return &Statsd{w: w, prefix: prefix, prev: make(map[string]int64)}
+}
+
+func (s *Statsd) name(parts ...string) string {
+	if s.prefix != "" {
+		return s.prefix + "." + strings.Join(parts, ".")
+	}
+	return strings.Join(parts, ".")
+}
+
+// Emit implements Sink: the whole snapshot becomes one buffered write, so
+// a datagram transport sends one packet per flush.
+func (s *Statsd) Emit(snap *Snapshot) error {
+	s.buf.Reset()
+	for _, c := range snap.Counters {
+		delta := c.Value - s.prev[c.Name]
+		s.prev[c.Name] = c.Value
+		if delta != 0 {
+			fmt.Fprintf(&s.buf, "%s:%d|c\n", s.name(c.Name), delta)
+		}
+	}
+	for _, g := range snap.Gauges {
+		fmt.Fprintf(&s.buf, "%s:%d|g\n", s.name(g.Name), g.Value)
+	}
+	for _, t := range snap.Timers {
+		if t.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&s.buf, "%s:%d|g\n", s.name(t.Name, "count"), t.Count)
+		fmt.Fprintf(&s.buf, "%s:%.3f|ms\n", s.name(t.Name, "p50"), float64(t.P50Ns)/1e6)
+		fmt.Fprintf(&s.buf, "%s:%.3f|ms\n", s.name(t.Name, "p90"), float64(t.P90Ns)/1e6)
+		fmt.Fprintf(&s.buf, "%s:%.3f|ms\n", s.name(t.Name, "p99"), float64(t.P99Ns)/1e6)
+		fmt.Fprintf(&s.buf, "%s:%.3f|ms\n", s.name(t.Name, "max"), float64(t.MaxNs)/1e6)
+	}
+	if s.buf.Len() == 0 {
+		return nil
+	}
+	_, err := io.WriteString(s.w, s.buf.String())
+	return err
+}

@@ -1,0 +1,102 @@
+package metric
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testSnapshot(at time.Time, reqs int64, latP50 int64) *Snapshot {
+	return &Snapshot{
+		At:            at,
+		UptimeSeconds: 12,
+		Counters:      []CounterPoint{{Name: "serve.edge.requests", Value: reqs}},
+		Gauges:        []GaugePoint{{Name: "store.generation", Value: 3}},
+		Timers: []TimerPoint{{
+			Name: "serve.edge.latency", Count: 10,
+			SumNs: 10 * latP50, MaxNs: 2 * latP50,
+			P50Ns: latP50, P90Ns: latP50, P99Ns: 2 * latP50,
+		}},
+	}
+}
+
+func TestJSONLinesOneObjectPerLine(t *testing.T) {
+	var b strings.Builder
+	sink := NewJSONLines(&b)
+	if err := sink.Emit(testSnapshot(time.Unix(5, 0), 100, 1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Emit(testSnapshot(time.Unix(6, 0), 150, 1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var snap Snapshot
+		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if p, ok := snap.Counter("serve.edge.requests"); !ok || p.Value == 0 {
+			t.Errorf("line %d missing counter point: %+v", lines, snap.Counters)
+		}
+		if tp, ok := snap.Timer("serve.edge.latency"); !ok || tp.P50Ns != 1_000_000 {
+			t.Errorf("line %d timer point = %+v ok=%v", lines, tp, ok)
+		}
+	}
+	if lines != 2 {
+		t.Errorf("emitted %d lines, want 2 (one JSON object per flush)", lines)
+	}
+}
+
+func TestStatsdCounterDeltas(t *testing.T) {
+	var b strings.Builder
+	sink := NewStatsd(&b, "adwise")
+	if err := sink.Emit(testSnapshot(time.Unix(5, 0), 100, 2_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	first := b.String()
+	if !strings.Contains(first, "adwise.serve.edge.requests:100|c\n") {
+		t.Errorf("first emit missing cumulative-as-first-delta counter line:\n%s", first)
+	}
+	if !strings.Contains(first, "adwise.store.generation:3|g\n") {
+		t.Errorf("first emit missing gauge line:\n%s", first)
+	}
+	if !strings.Contains(first, "adwise.serve.edge.latency.p50:2.000|ms\n") {
+		t.Errorf("first emit missing p50 timer line:\n%s", first)
+	}
+	if !strings.Contains(first, "adwise.serve.edge.latency.p99:4.000|ms\n") {
+		t.Errorf("first emit missing p99 timer line:\n%s", first)
+	}
+
+	b.Reset()
+	if err := sink.Emit(testSnapshot(time.Unix(6, 0), 150, 2_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	second := b.String()
+	if !strings.Contains(second, "adwise.serve.edge.requests:50|c\n") {
+		t.Errorf("second emit should carry the delta 50, got:\n%s", second)
+	}
+
+	// An unchanged counter emits no line at all.
+	b.Reset()
+	if err := sink.Emit(testSnapshot(time.Unix(7, 0), 150, 2_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "requests") {
+		t.Errorf("unchanged counter still emitted:\n%s", b.String())
+	}
+}
+
+func TestStatsdNoPrefix(t *testing.T) {
+	var b strings.Builder
+	sink := NewStatsd(&b, "")
+	if err := sink.Emit(testSnapshot(time.Unix(5, 0), 1, 1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "serve.edge.requests:1|c\n") {
+		t.Errorf("unprefixed name mangled:\n%s", b.String())
+	}
+}

@@ -1,0 +1,115 @@
+package metric
+
+import "time"
+
+// Snapshot is one point-in-time view of a registry, the unit handed to
+// sinks and served by the /v1/metrics endpoint. Counter and timer values
+// are cumulative since registry creation; sinks that speak a delta
+// protocol (statsd) diff consecutive snapshots themselves.
+type Snapshot struct {
+	// At is the snapshot time on the registry clock.
+	At time.Time `json:"at"`
+	// UptimeSeconds is the registry age at snapshot time.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Counters, Gauges, and Timers are sorted by name.
+	Counters []CounterPoint `json:"counters,omitempty"`
+	Gauges   []GaugePoint   `json:"gauges,omitempty"`
+	Timers   []TimerPoint   `json:"timers,omitempty"`
+}
+
+// CounterPoint is one counter reading.
+type CounterPoint struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugePoint is one gauge reading.
+type GaugePoint struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// TimerPoint is one timer's aggregated distribution: observation count,
+// sum, max, and the serving-latency quantiles, all in nanoseconds.
+type TimerPoint struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	SumNs int64  `json:"sum_ns"`
+	MaxNs int64  `json:"max_ns"`
+	P50Ns int64  `json:"p50_ns"`
+	P90Ns int64  `json:"p90_ns"`
+	P99Ns int64  `json:"p99_ns"`
+}
+
+// Mean returns the mean observed duration.
+func (tp TimerPoint) Mean() time.Duration {
+	if tp.Count == 0 {
+		return 0
+	}
+	return time.Duration(tp.SumNs / tp.Count)
+}
+
+// Counter returns the named counter point, or false.
+func (s *Snapshot) Counter(name string) (CounterPoint, bool) {
+	for _, p := range s.Counters {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return CounterPoint{}, false
+}
+
+// Gauge returns the named gauge point, or false.
+func (s *Snapshot) Gauge(name string) (GaugePoint, bool) {
+	for _, p := range s.Gauges {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return GaugePoint{}, false
+}
+
+// Timer returns the named timer point, or false.
+func (s *Snapshot) Timer(name string) (TimerPoint, bool) {
+	for _, p := range s.Timers {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return TimerPoint{}, false
+}
+
+// Snapshot captures the current value of every registered metric, sorted
+// by name. It takes the registration lock (against concurrent metric
+// creation, not against producers) and allocates the point slices — it is
+// a flush/serving-path operation, never a hot-path one. Values race
+// benignly with concurrent producers: each point is an atomic read, the
+// set is not a consistent cut.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clk.Now()
+	snap := &Snapshot{
+		At:            now,
+		UptimeSeconds: now.Sub(r.started).Seconds(),
+	}
+	for _, name := range sortedNames(r.counters) {
+		snap.Counters = append(snap.Counters, CounterPoint{Name: name, Value: r.counters[name].Value()})
+	}
+	for _, name := range sortedNames(r.gauges) {
+		snap.Gauges = append(snap.Gauges, GaugePoint{Name: name, Value: r.gauges[name].Value()})
+	}
+	for _, name := range sortedNames(r.timers) {
+		t := r.timers[name]
+		snap.Timers = append(snap.Timers, TimerPoint{
+			Name:  name,
+			Count: t.Count(),
+			SumNs: int64(t.Sum()),
+			MaxNs: int64(t.Max()),
+			P50Ns: int64(t.Quantile(0.50)),
+			P90Ns: int64(t.Quantile(0.90)),
+			P99Ns: int64(t.Quantile(0.99)),
+		})
+	}
+	return snap
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/adwise-go/adwise/internal/core"
+	"github.com/adwise-go/adwise/internal/metric"
 	"github.com/adwise-go/adwise/internal/partition"
 )
 
@@ -45,6 +46,13 @@ type Spec struct {
 	// Options are extra ADWISE options applied after the Spec-derived
 	// ones (clustering toggles, clock substitution, ...).
 	Options []core.Option
+	// Metrics, when non-nil, attaches a live telemetry registry:
+	// window-class instances publish their pool pass/steal counters and
+	// run totals onto it (core.WithMetrics), and the file-spotlight
+	// executor meters its segment streams. Spotlight instances share the
+	// one registry — counters are striped and lock-free, so z concurrent
+	// publishers do not contend.
+	Metrics *metric.Registry
 }
 
 // partitionConfig projects the Spec onto the single-edge framework config.
@@ -248,6 +256,9 @@ func init() {
 		}
 		if s.ScoreWorkers > 0 {
 			opts = append(opts, core.WithScoreWorkers(s.ScoreWorkers))
+		}
+		if s.Metrics != nil {
+			opts = append(opts, core.WithMetrics(s.Metrics))
 		}
 		opts = append(opts, s.Options...)
 		ad, err := core.New(s.K, opts...)

@@ -282,6 +282,18 @@ func RunStrategySpotlightFile(name, path string, cfg SpotlightConfig, spec Spec)
 			return nil, err
 		}
 		segs[i], streams[i] = seg, seg
+		if spec.Metrics != nil {
+			// Meter each segment: edges tick live per batch (a flusher
+			// sampling the registry sees ingest progress mid-pass), the
+			// planned byte length lands up front, and exhaustion bumps the
+			// segments-done counter.
+			reg := spec.Metrics
+			reg.Counter(stream.MetricBytesPlanned).Inc(r.End - r.Start)
+			segsDone := reg.Counter(stream.MetricSegmentsDone)
+			streams[i] = stream.NewMetered(seg, reg.Counter(stream.MetricEdgesRead), func() {
+				segsDone.Inc(1)
+			})
+		}
 	}
 	if spec.K == 0 {
 		spec.K = cfg.K

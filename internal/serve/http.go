@@ -7,7 +7,9 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/adwise-go/adwise/internal/clock"
 	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/metric"
 )
 
 // NewServer wraps a handler in an http.Server with the slow-client
@@ -40,12 +42,38 @@ const maxBatchBodyBytes = MaxBatch * 64
 //	GET  /v1/edge?src=S&dst=D         partition of one edge
 //	GET  /v1/vertex?v=V               replica set of one vertex
 //	POST /v1/edges {"edges":[[s,d],…]} batch edge lookup
-//	GET  /v1/stats                    index statistics
+//	GET  /v1/stats                    index statistics + uptime (+ metrics when instrumented)
 //
 // Every handler resolves the store view once and answers entirely from
 // that immutable snapshot, so responses stay self-consistent across a
 // concurrent Swap.
-func NewHandler(s *Store) http.Handler {
+func NewHandler(s *Store) http.Handler { return NewInstrumentedHandler(s, nil) }
+
+// statsResponse is the /v1/stats body: the index statistics inline (the
+// historical shape), plus serving-tier fields and, when the handler is
+// instrumented, the full metrics snapshot of the same registry that
+// serves /v1/metrics.
+type statsResponse struct {
+	Stats
+	Generation    uint64           `json:"generation"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Metrics       *metric.Snapshot `json:"metrics,omitempty"`
+}
+
+// NewInstrumentedHandler is NewHandler with telemetry: per-endpoint
+// request counters and latency histograms recorded on ins (nil disables
+// instrumentation entirely — the uninstrumented handler has no
+// per-request overhead), plus GET /v1/metrics serving the registry
+// snapshot. The lookup hot paths underneath (Index.Partition,
+// PartitionBatch) stay zero-alloc either way; instrumentation happens in
+// the HTTP layer around them.
+func NewInstrumentedHandler(s *Store, ins *Instruments) http.Handler {
+	var clk clock.Clock = clock.Real{}
+	if ins != nil {
+		clk = ins.Registry.Clock()
+	}
+	started := clk.Now()
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.View() == nil {
@@ -54,13 +82,55 @@ func NewHandler(s *Store) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "generation": s.Generation()})
 	})
-	mux.HandleFunc("GET /v1/edge", withIndex(s, handleEdge))
-	mux.HandleFunc("GET /v1/vertex", withIndex(s, handleVertex))
-	mux.HandleFunc("POST /v1/edges", withIndex(s, handleEdgeBatch))
-	mux.HandleFunc("GET /v1/stats", withIndex(s, func(w http.ResponseWriter, r *http.Request, ix *Index) {
-		writeJSON(w, http.StatusOK, ix.Stats())
-	}))
+	mux.HandleFunc("GET /v1/edge", ins.instrument(s, insCounter(ins, func(i *Instruments) *metric.Counter { return i.reqEdge }),
+		insTimer(ins, func(i *Instruments) *metric.Timer { return i.latEdge }), withIndex(s, handleEdge)))
+	mux.HandleFunc("GET /v1/vertex", ins.instrument(s, insCounter(ins, func(i *Instruments) *metric.Counter { return i.reqVertex }),
+		insTimer(ins, func(i *Instruments) *metric.Timer { return i.latVertex }), withIndex(s, handleVertex)))
+	mux.HandleFunc("POST /v1/edges", ins.instrument(s, insCounter(ins, func(i *Instruments) *metric.Counter { return i.reqBatch }),
+		insTimer(ins, func(i *Instruments) *metric.Timer { return i.latBatch }), withIndex(s, makeBatchHandler(ins))))
+	mux.HandleFunc("GET /v1/stats", ins.instrument(s, insCounter(ins, func(i *Instruments) *metric.Counter { return i.reqStats }), nil,
+		withIndex(s, func(w http.ResponseWriter, r *http.Request, ix *Index) {
+			writeJSON(w, http.StatusOK, statsResponse{
+				Stats:         ix.Stats(),
+				Generation:    s.Generation(),
+				UptimeSeconds: clk.Now().Sub(started).Seconds(),
+				Metrics:       ins.snapshot(),
+			})
+		})))
+	if ins != nil {
+		mux.HandleFunc("GET /v1/metrics", ins.instrument(s, ins.reqMetrics, nil,
+			func(w http.ResponseWriter, r *http.Request) {
+				writeJSON(w, http.StatusOK, ins.Registry.Snapshot())
+			}))
+	}
 	return mux
+}
+
+// insCounter and insTimer pluck a handle off possibly-nil Instruments, so
+// route wiring stays declarative.
+func insCounter(ins *Instruments, get func(*Instruments) *metric.Counter) *metric.Counter {
+	if ins == nil {
+		return nil
+	}
+	return get(ins)
+}
+
+func insTimer(ins *Instruments, get func(*Instruments) *metric.Timer) *metric.Timer {
+	if ins == nil {
+		return nil
+	}
+	return get(ins)
+}
+
+// makeBatchHandler returns the /v1/edges handler, counting looked-up
+// edges on the instruments when present.
+func makeBatchHandler(ins *Instruments) func(http.ResponseWriter, *http.Request, *Index) {
+	return func(w http.ResponseWriter, r *http.Request, ix *Index) {
+		n := handleEdgeBatch(w, r, ix)
+		if ins != nil && n > 0 {
+			ins.batchEdges.Inc(int64(n))
+		}
+	}
 }
 
 // withIndex resolves the store view once per request and rejects requests
@@ -118,21 +188,24 @@ type batchRequest struct {
 	Edges [][2]uint32 `json:"edges"`
 }
 
-func handleEdgeBatch(w http.ResponseWriter, r *http.Request, ix *Index) {
+// handleEdgeBatch answers a batch lookup and reports how many edges it
+// resolved (0 on any rejection), so instrumented handlers can meter
+// lookup throughput rather than just request counts.
+func handleEdgeBatch(w http.ResponseWriter, r *http.Request, ix *Index) int {
 	var req batchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding body: "+err.Error())
-		return
+		return 0
 	}
 	if len(req.Edges) == 0 {
 		writeError(w, http.StatusBadRequest, "empty edge batch")
-		return
+		return 0
 	}
 	if len(req.Edges) > MaxBatch {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d edges exceeds the %d cap", len(req.Edges), MaxBatch))
-		return
+		return 0
 	}
 	edges := make([]graph.Edge, len(req.Edges))
 	for i, pair := range req.Edges {
@@ -140,6 +213,7 @@ func handleEdgeBatch(w http.ResponseWriter, r *http.Request, ix *Index) {
 	}
 	parts := ix.PartitionBatch(edges, make([]int32, 0, len(edges)))
 	writeJSON(w, http.StatusOK, map[string]any{"partitions": parts})
+	return len(edges)
 }
 
 func vertexParam(r *http.Request, name string) (graph.VertexID, error) {

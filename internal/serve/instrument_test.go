@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/adwise-go/adwise/internal/clock"
+	"github.com/adwise-go/adwise/internal/metric"
+)
+
+func instrumentedServer(t *testing.T, fake *clock.Fake) (*httptest.Server, *Instruments, *Store) {
+	t.Helper()
+	reg := metric.New(metric.WithClock(fake), metric.WithCounterStripes(1))
+	ins := NewInstruments(reg)
+	store := NewStore(fixedIndex(t))
+	srv := httptest.NewServer(NewInstrumentedHandler(store, ins))
+	t.Cleanup(srv.Close)
+	return srv, ins, store
+}
+
+func counterValue(t *testing.T, reg *metric.Registry, name string) int64 {
+	t.Helper()
+	p, ok := reg.Snapshot().Counter(name)
+	if !ok {
+		t.Fatalf("counter %q missing from snapshot", name)
+	}
+	return p.Value
+}
+
+func TestInstrumentedHandlerCounts(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	srv, ins, _ := instrumentedServer(t, fake)
+
+	getJSON(t, srv, "/v1/edge?src=0&dst=1", http.StatusOK)
+	getJSON(t, srv, "/v1/edge?src=7&dst=9", http.StatusNotFound)
+	getJSON(t, srv, "/v1/edge?src=abc&dst=1", http.StatusBadRequest)
+	getJSON(t, srv, "/v1/vertex?v=2", http.StatusOK)
+
+	resp, err := srv.Client().Post(srv.URL+"/v1/edges", "application/json",
+		bytes.NewBufferString(`{"edges":[[0,1],[5,6],[2,1]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200", resp.StatusCode)
+	}
+
+	reg := ins.Registry
+	if got := counterValue(t, reg, MetricEdgeRequests); got != 3 {
+		t.Errorf("%s = %d, want 3 (errors count as requests too)", MetricEdgeRequests, got)
+	}
+	if got := counterValue(t, reg, MetricVertexRequests); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricVertexRequests, got)
+	}
+	if got := counterValue(t, reg, MetricBatchRequests); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricBatchRequests, got)
+	}
+	if got := counterValue(t, reg, MetricBatchEdges); got != 3 {
+		t.Errorf("%s = %d, want 3 looked-up edges", MetricBatchEdges, got)
+	}
+	if got := counterValue(t, reg, MetricErrors); got != 2 {
+		t.Errorf("%s = %d, want 2 (one 404 + one 400)", MetricErrors, got)
+	}
+	tp, ok := reg.Snapshot().Timer(MetricEdgeLatency)
+	if !ok || tp.Count != 3 {
+		t.Errorf("%s count = %+v ok=%v, want 3 observations", MetricEdgeLatency, tp, ok)
+	}
+	if g, ok := reg.Snapshot().Gauge(MetricGeneration); !ok || g.Value != 1 {
+		t.Errorf("%s = %+v ok=%v, want generation 1", MetricGeneration, g, ok)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	srv, _, _ := instrumentedServer(t, fake)
+
+	getJSON(t, srv, "/v1/edge?src=0&dst=1", http.StatusOK)
+	body := getJSON(t, srv, "/v1/metrics", http.StatusOK)
+	counters, ok := body["counters"].([]any)
+	if !ok || len(counters) == 0 {
+		t.Fatalf("/v1/metrics body missing counters: %v", body)
+	}
+	found := false
+	for _, c := range counters {
+		m := c.(map[string]any)
+		if m["name"] == MetricEdgeRequests && m["value"].(float64) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/v1/metrics counters missing %s=1: %v", MetricEdgeRequests, counters)
+	}
+
+	// The uninstrumented handler does not expose the endpoint.
+	bare := httptest.NewServer(NewHandler(NewStore(fixedIndex(t))))
+	defer bare.Close()
+	resp, err := bare.Client().Get(bare.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("uninstrumented /v1/metrics status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestStatsUptimeAndMetrics(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	srv, _, store := instrumentedServer(t, fake)
+
+	store.Swap(fixedIndex(t)) // generation 2
+	fake.Advance(90 * time.Second)
+
+	stats := getJSON(t, srv, "/v1/stats", http.StatusOK)
+	// The historical inline shape survives.
+	if stats["k"].(float64) != 4 || stats["distinct_edges"].(float64) != 3 || stats["vertices"].(float64) != 4 {
+		t.Errorf("stats = %v, want inline k=4 distinct_edges=3 vertices=4", stats)
+	}
+	if stats["generation"].(float64) != 2 {
+		t.Errorf("generation = %v, want 2 after a second swap", stats["generation"])
+	}
+	// Uptime follows the injected clock: 90s elapsed plus the fake clock's
+	// auto-step per Now() call, so it sits in [90, 91).
+	up := stats["uptime_seconds"].(float64)
+	if up < 90 || up >= 91 {
+		t.Errorf("uptime_seconds = %v, want ≈ 90 (fake-clock driven)", up)
+	}
+	if _, ok := stats["metrics"].(map[string]any); !ok {
+		t.Errorf("instrumented /v1/stats missing embedded metrics snapshot: %v", stats)
+	}
+
+	// Uninstrumented stats keeps uptime but omits metrics.
+	bare := httptest.NewServer(NewHandler(NewStore(fixedIndex(t))))
+	defer bare.Close()
+	resp, err := bare.Client().Get(bare.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	bareStats := getJSON(t, bare, "/v1/stats", http.StatusOK)
+	if _, present := bareStats["metrics"]; present {
+		t.Errorf("uninstrumented /v1/stats should omit metrics: %v", bareStats)
+	}
+	if _, present := bareStats["uptime_seconds"]; !present {
+		t.Errorf("uninstrumented /v1/stats missing uptime_seconds: %v", bareStats)
+	}
+}
