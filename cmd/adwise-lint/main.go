@@ -1,0 +1,79 @@
+// Command adwise-lint runs the contracts-as-code analyzer suite
+// (internal/lint) over the module: the determinism, clock, stream-error,
+// and hot-path invariants documented in ARCHITECTURE.md, enforced as
+// build-failing lint rules.
+//
+// Usage:
+//
+//	adwise-lint [-rules] [-v] [patterns ...]
+//
+// Patterns default to ./... — the whole module, testdata excluded. The
+// exit status is non-zero when any unsuppressed finding exists; findings
+// print one per line as file:line:col: [rule] message. Suppress a
+// finding in place with //adwise:allow <rule> <reason> on the flagged
+// line or the line above it; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/adwise-go/adwise/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("adwise-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listRules := fs.Bool("rules", false, "list the registered rules and exit")
+	verbose := fs.Bool("v", false, "report type-checking degradation (analysis still runs)")
+	dir := fs.String("C", ".", "directory whose module is analyzed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listRules {
+		for _, r := range lint.Rules() {
+			fmt.Fprintf(stdout, "%-12s %s\n", r.Name(), r.Doc())
+		}
+		return 0
+	}
+
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	var findings []lint.Finding
+	for _, pkg := range pkgs {
+		if *verbose {
+			for _, terr := range pkg.TypeErrs {
+				fmt.Fprintf(stderr, "# %s: type checking degraded: %v\n", pkg.Path, terr)
+			}
+		}
+		findings = append(findings, lint.CheckPackage(pkg)...)
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	lint.SortFindings(findings)
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(loader.ModuleRoot, name); err == nil {
+			name = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", name, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+	}
+	fmt.Fprintf(stderr, "adwise-lint: %d finding(s)\n", len(findings))
+	return 1
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRulesListing pins the CLI surface: -rules names every contract
+// rule with a doc line.
+func TestRulesListing(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules"}, &out, &errb); code != 0 {
+		t.Fatalf("adwise-lint -rules exited %d, stderr: %s", code, errb.String())
+	}
+	for _, rule := range []string{"clockguard", "randguard", "maprange", "streamerr", "hotpath"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-rules output missing %q:\n%s", rule, out.String())
+		}
+	}
+}
+
+// TestExitCodes exercises both sides of the contract: a fixture package
+// with known violations exits 1 with file:line diagnostics, and the
+// clock package itself (trivially clean: it is clockguard-exempt) exits
+// 0.
+func TestExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"./internal/lint/testdata/src/clockguard"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("lint over violating fixture exited %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "pos.go:") || !strings.Contains(out.String(), "[clockguard]") {
+		t.Errorf("diagnostics missing file:line or rule tag:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"./internal/clock"}, &out, &errb); code != 0 {
+		t.Errorf("lint over internal/clock exited %d, want 0; out: %s stderr: %s", code, out.String(), errb.String())
+	}
+}

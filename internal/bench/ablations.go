@@ -24,6 +24,7 @@ func AblationLazy(cfg Config) (*Table, error) {
 		return nil, fmt.Errorf("bench: ablation-lazy: %w", err)
 	}
 	edges := stream.Interleave(g.Edges, 64)
+	clk := cfg.clock()
 	t := &Table{
 		ID:      "Ablation: lazy traversal",
 		Title:   fmt.Sprintf("Lazy vs eager window traversal (Brain-like, k=%d, single instance)", cfg.K),
@@ -41,12 +42,12 @@ func AblationLazy(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			start := time.Now()
+			start := clk.Now()
 			a, err := ad.Run(stream.FromEdges(edges))
 			if err != nil {
 				return nil, err
 			}
-			lat := time.Since(start)
+			lat := clk.Now().Sub(start)
 			st := ad.Stats()
 			t.AddRow(name, w, metrics.Summarize(a).ReplicationDegree, st.ScoreComputations, lat)
 			cfg.progressf("ablation-lazy: %s w=%d ops=%d lat=%v", name, w, st.ScoreComputations, lat.Round(time.Millisecond))
@@ -191,6 +192,7 @@ func AblationWindow(cfg Config) (*Table, error) {
 		return nil, fmt.Errorf("bench: ablation-window: %w", err)
 	}
 	edges := stream.Interleave(g.Edges, 64)
+	clk := cfg.clock()
 	t := &Table{
 		ID:      "Ablation: window size",
 		Title:   fmt.Sprintf("Fixed window sweep (Brain-like, k=%d, single instance)", cfg.K),
@@ -201,12 +203,12 @@ func AblationWindow(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
+		start := clk.Now()
 		a, err := ad.Run(stream.FromEdges(edges))
 		if err != nil {
 			return nil, err
 		}
-		lat := time.Since(start)
+		lat := clk.Now().Sub(start)
 		t.AddRow(w, metrics.Summarize(a).ReplicationDegree, lat, ad.Stats().ScoreComputations)
 		cfg.progressf("ablation-window: w=%d lat=%v", w, lat.Round(time.Millisecond))
 	}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/adwise-go/adwise/internal/clock"
 	"github.com/adwise-go/adwise/internal/engine"
 )
 
@@ -62,6 +63,18 @@ type Config struct {
 	ScoreWorkers int
 	// Progress, when non-nil, receives one line per completed step.
 	Progress io.Writer
+	// Clock substitutes the wall-time source behind every measured
+	// latency (nil = real time); tests inject a clock.Fake to make
+	// harness timing deterministic.
+	Clock clock.Clock
+}
+
+// clock returns the configured time source, defaulting to real time.
+func (c Config) clock() clock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return clock.Real{}
 }
 
 // DefaultConfig returns the laptop-scale defaults.

@@ -25,6 +25,7 @@ func Figure1(cfg Config) (*Table, error) {
 	// raw ring order is so perfectly local that HDRF's balance term
 	// saturates and leaves partitions empty (see EXPERIMENTS.md).
 	edges := stream.Interleave(g.Edges, 64)
+	clk := cfg.clock()
 
 	t := &Table{
 		ID:      "Figure 1",
@@ -54,12 +55,12 @@ func Figure1(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: fig1 %s: %w", e.label, err)
 		}
-		start := time.Now()
+		start := clk.Now()
 		a, err := p.Run(stream.FromEdges(edges))
 		if err != nil {
 			return nil, fmt.Errorf("bench: fig1 %s: %w", e.label, err)
 		}
-		lat := time.Since(start)
+		lat := clk.Now().Sub(start)
 		s := metrics.Summarize(a)
 		t.AddRow(e.label, e.class, lat, s.ReplicationDegree, s.Imbalance)
 		cfg.progressf("fig1: %-14s RF=%.3f lat=%v", e.label, s.ReplicationDegree, lat.Round(time.Millisecond))

@@ -55,13 +55,14 @@ func Ingest(cfg Config) (*Table, error) {
 		allocMB float64
 		rf      float64
 	}
+	clk := cfg.clock()
 	measure := func(label string, run func() (*metrics.Assignment, error)) (result, error) {
 		var before, after gort.MemStats
 		gort.GC()
 		gort.ReadMemStats(&before)
-		start := time.Now()
+		start := clk.Now()
 		a, err := run()
-		lat := time.Since(start)
+		lat := clk.Now().Sub(start)
 		if err != nil {
 			return result{}, fmt.Errorf("bench: ingest %s: %w", label, err)
 		}

@@ -91,6 +91,7 @@ func scoringSingle(cfg Config, tab *Table) error {
 		workerSweep = []int{1, cfg.ScoreWorkers}
 	}
 
+	clk := cfg.clock()
 	run := func(window, workers int) (*metrics.Assignment, core.RunStats, time.Duration, error) {
 		ad, err := core.New(cfg.K,
 			core.WithInitialWindow(window),
@@ -102,12 +103,12 @@ func scoringSingle(cfg Config, tab *Table) error {
 		if err != nil {
 			return nil, core.RunStats{}, 0, err
 		}
-		start := time.Now()
+		start := clk.Now()
 		a, err := ad.Run(stream.FromEdges(edges))
 		if err != nil {
 			return nil, core.RunStats{}, 0, err
 		}
-		return a, ad.Stats(), time.Since(start), nil
+		return a, ad.Stats(), clk.Now().Sub(start), nil
 	}
 
 	for _, window := range windows {
@@ -171,13 +172,14 @@ func scoringSkew(cfg Config, tab *Table) error {
 		return ss
 	}
 	scfg := runtime.SpotlightConfig{K: cfg.K, Z: z, Spread: max(cfg.K/z, 1)}
+	clk := cfg.clock()
 
 	// run executes one skew cell. workers is the per-instance logical
 	// shard count; pools[i], when non-nil, pins instance i to a private
 	// pool (the static mode); nil pools select the shared pool (or inline
 	// execution when workers == 1).
 	run := func(workers int, pools []*scorepool.Pool) (*metrics.Assignment, runtime.Stats, time.Duration, error) {
-		start := time.Now()
+		start := clk.Now()
 		a, stats, err := runtime.RunSpotlightStreamsStats(streams(), scfg, func(i int, allowed []int) (runtime.Runner, error) {
 			spec := runtime.Spec{
 				K:            cfg.K,
@@ -194,7 +196,7 @@ func scoringSkew(cfg Config, tab *Table) error {
 		if err != nil {
 			return nil, runtime.Stats{}, 0, err
 		}
-		return a, runtime.AggregateStats(stats), time.Since(start), nil
+		return a, runtime.AggregateStats(stats), clk.Now().Sub(start), nil
 	}
 
 	serial, _, serialLat, err := run(1, nil)

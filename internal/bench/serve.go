@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/adwise-go/adwise/internal/clock"
 	"github.com/adwise-go/adwise/internal/gen"
 	"github.com/adwise-go/adwise/internal/graph"
 	"github.com/adwise-go/adwise/internal/metric"
@@ -91,7 +92,7 @@ func Serve(cfg Config) (*Table, error) {
 			if ep == "edges" {
 				reqs = batchRequests
 			}
-			cell, err := serveCell(ix, a.Edges, ep, conc, reqs)
+			cell, err := serveCell(ix, a.Edges, ep, conc, reqs, cfg.clock())
 			if err != nil {
 				return tab, fmt.Errorf("bench: serve %s conc=%d: %w", ep, conc, err)
 			}
@@ -117,7 +118,7 @@ type serveResult struct {
 
 // serveCell serves ix on a fresh loopback listener with a fresh registry
 // and drives it with conc closed-loop workers issuing total requests.
-func serveCell(ix *serve.Index, edges []graph.Edge, endpoint string, conc, total int) (serveResult, error) {
+func serveCell(ix *serve.Index, edges []graph.Edge, endpoint string, conc, total int, clk clock.Clock) (serveResult, error) {
 	reg := metric.New()
 	ins := serve.NewInstruments(reg)
 	store := serve.NewStore(ix)
@@ -157,7 +158,7 @@ func serveCell(ix *serve.Index, edges []graph.Edge, endpoint string, conc, total
 		latName = serve.MetricBatchLatency
 	}
 
-	start := time.Now()
+	start := clk.Now()
 	for w := 0; w < conc; w++ {
 		wg.Add(1)
 		go func() {
@@ -193,7 +194,7 @@ func serveCell(ix *serve.Index, edges []graph.Edge, endpoint string, conc, total
 		}()
 	}
 	wg.Wait()
-	wall := time.Since(start)
+	wall := clk.Now().Sub(start)
 
 	if n := failures.Load(); n > 0 {
 		return serveResult{}, fmt.Errorf("%d/%d requests failed (first: %v)", n, total, firstErr.Load())

@@ -58,7 +58,8 @@ func (c Config) runStrategy(name string, edges []graph.Edge, spec runtime.Spec) 
 	if spec.ScoreWorkers == 0 {
 		spec.ScoreWorkers = c.ScoreWorkers
 	}
-	start := time.Now()
+	clk := c.clock()
+	start := clk.Now()
 	a, err := runtime.RunStrategySpotlight(name, edges, c.spotlightConfig(), spec)
 	if err != nil {
 		return StrategyResult{}, fmt.Errorf("bench: running %s: %w", name, err)
@@ -66,7 +67,7 @@ func (c Config) runStrategy(name string, edges []graph.Edge, spec runtime.Spec) 
 	return StrategyResult{
 		Name:        name,
 		LatencyPref: spec.Latency,
-		Latency:     time.Since(start),
+		Latency:     clk.Now().Sub(start),
 		Summary:     metrics.Summarize(a),
 		Assignment:  a,
 	}, nil

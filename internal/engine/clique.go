@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"math/rand/v2"
-	"time"
 
 	"github.com/adwise-go/adwise/internal/graph"
 )
@@ -56,7 +55,7 @@ func (e *Engine) CliqueSearch(cfg CliqueSearchConfig) (CliqueSearchResult, Repor
 	if cfg.ForwardProbability < 0 || cfg.ForwardProbability > 1 {
 		return CliqueSearchResult{}, Report{}, fmt.Errorf("engine: forward probability %v outside [0,1]", cfg.ForwardProbability)
 	}
-	start := time.Now()
+	start := e.clk.Now()
 
 	inbox := make([][]cliqueMsg, e.numV)
 	for _, s := range cfg.Seeds {
@@ -180,6 +179,6 @@ func (e *Engine) CliqueSearch(cfg CliqueSearchConfig) (CliqueSearchResult, Repor
 			break
 		}
 	}
-	rep.WallTime = time.Since(start)
+	rep.WallTime = e.clk.Now().Sub(start)
 	return res, rep, nil
 }

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"time"
 
 	"github.com/adwise-go/adwise/internal/graph"
 )
@@ -28,7 +27,7 @@ func (e *Engine) Coloring(maxIterations int) ([]int32, Report, error) {
 	if maxIterations < 1 {
 		return nil, Report{}, fmt.Errorf("engine: Coloring needs >= 1 iterations, got %d", maxIterations)
 	}
-	start := time.Now()
+	start := e.clk.Now()
 
 	colors := make([]int32, e.numV)
 	next := make([]int32, e.numV)
@@ -114,7 +113,7 @@ func (e *Engine) Coloring(maxIterations int) ([]int32, Report, error) {
 			break
 		}
 	}
-	rep.WallTime = time.Since(start)
+	rep.WallTime = e.clk.Now().Sub(start)
 	return colors, rep, nil
 }
 

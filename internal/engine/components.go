@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"time"
 
 	"github.com/adwise-go/adwise/internal/graph"
 )
@@ -20,7 +19,7 @@ func (e *Engine) ConnectedComponents(maxIterations int) ([]graph.VertexID, Repor
 	if maxIterations < 1 {
 		return nil, Report{}, fmt.Errorf("engine: ConnectedComponents needs >= 1 iterations, got %d", maxIterations)
 	}
-	start := time.Now()
+	start := e.clk.Now()
 
 	labels := make([]graph.VertexID, e.numV)
 	for v := range labels {
@@ -103,7 +102,7 @@ func (e *Engine) ConnectedComponents(maxIterations int) ([]graph.VertexID, Repor
 			break
 		}
 	}
-	rep.WallTime = time.Since(start)
+	rep.WallTime = e.clk.Now().Sub(start)
 	return labels, rep, nil
 }
 

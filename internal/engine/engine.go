@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/adwise-go/adwise/internal/clock"
 	"github.com/adwise-go/adwise/internal/graph"
 	"github.com/adwise-go/adwise/internal/hashx"
 	"github.com/adwise-go/adwise/internal/metrics"
@@ -85,7 +86,13 @@ type Engine struct {
 	csr      *graph.CSR
 
 	workers int
+	clk     clock.Clock // wall-time source for Report.WallTime
 }
+
+// SetClock substitutes the time source behind Report.WallTime — tests
+// drive workload timing deterministically with a clock.Fake. It must be
+// called before running workloads.
+func (e *Engine) SetClock(clk clock.Clock) { e.clk = clk }
 
 // Report summarises one workload execution.
 type Report struct {
@@ -147,6 +154,7 @@ func New(a *metrics.Assignment, numV int, cost CostModel, workers int) (*Engine,
 		outDeg:  make([]int32, numV),
 		deg:     make([]int32, numV),
 		workers: workers,
+		clk:     clock.Real{},
 	}
 	for i := range e.master {
 		e.master[i] = -1

@@ -28,7 +28,7 @@ func (e *Engine) PageRank(iterations int, damping float64) ([]float64, Report, e
 	if damping < 0 || damping >= 1 {
 		return nil, Report{}, fmt.Errorf("engine: PageRank damping %v outside [0,1)", damping)
 	}
-	start := time.Now()
+	start := e.clk.Now()
 
 	n := float64(e.numV)
 	rank := make([]float64, e.numV)
@@ -110,7 +110,7 @@ func (e *Engine) PageRank(iterations int, damping float64) ([]float64, Report, e
 		rep.SimulatedLatency += stepLat
 		rep.Supersteps++
 	}
-	rep.WallTime = time.Since(start)
+	rep.WallTime = e.clk.Now().Sub(start)
 	return rank, rep, nil
 }
 

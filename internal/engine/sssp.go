@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"math"
-	"time"
 
 	"github.com/adwise-go/adwise/internal/graph"
 )
@@ -22,7 +21,7 @@ func (e *Engine) SSSP(source graph.VertexID, maxIterations int) ([]float64, Repo
 	if maxIterations < 1 {
 		return nil, Report{}, fmt.Errorf("engine: SSSP needs >= 1 iterations, got %d", maxIterations)
 	}
-	start := time.Now()
+	start := e.clk.Now()
 
 	dist := make([]float64, e.numV)
 	for i := range dist {
@@ -94,7 +93,7 @@ func (e *Engine) SSSP(source graph.VertexID, maxIterations int) ([]float64, Repo
 			break
 		}
 	}
-	rep.WallTime = time.Since(start)
+	rep.WallTime = e.clk.Now().Sub(start)
 	return dist, rep, nil
 }
 

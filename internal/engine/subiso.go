@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"time"
 
 	"github.com/adwise-go/adwise/internal/graph"
 )
@@ -51,7 +50,7 @@ func (e *Engine) CycleSearch(cfg CycleSearchConfig) (CycleSearchResult, Report, 
 	if len(cfg.Seeds) == 0 {
 		return CycleSearchResult{}, Report{}, fmt.Errorf("engine: cycle search needs at least one seed")
 	}
-	start := time.Now()
+	start := e.clk.Now()
 
 	// inbox[v] holds the path messages whose frontier is v.
 	inbox := make([][]pathMsg, e.numV)
@@ -141,7 +140,7 @@ func (e *Engine) CycleSearch(cfg CycleSearchConfig) (CycleSearchResult, Report, 
 			break
 		}
 	}
-	rep.WallTime = time.Since(start)
+	rep.WallTime = e.clk.Now().Sub(start)
 	return res, rep, nil
 }
 

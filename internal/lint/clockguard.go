@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+func init() { RegisterRule(clockguard{}) }
+
+// clockguard enforces the injected-clock invariant: core logic never
+// reads the wall clock directly, it goes through an injected clock.Clock
+// (internal/clock), so every latency-driven control loop — the ADWISE
+// adaptive window condition, the metric flush cadence — is deterministic
+// under a fake clock. Main packages (cmd/*, examples/*) are exempt: they
+// are the composition roots that construct the real clock, and their
+// wall-clock reads are operator-facing measurement, not logic.
+type clockguard struct{}
+
+// clockBanned is the set of time-package functions that read or wait on
+// the wall clock. Pure value constructors (time.Duration, time.Date,
+// time.Unix) stay legal everywhere.
+var clockBanned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+func (clockguard) Name() string { return "clockguard" }
+
+func (clockguard) Doc() string {
+	return "no direct time.Now/Sleep/ticker calls outside internal/clock and main packages; inject clock.Clock"
+}
+
+func (clockguard) Check(pkg *Package) []Finding {
+	if pkg.Name == "main" || pathHasSuffix(pkg.Path, "internal/clock") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unwrapIndex(call.Fun).(*ast.SelectorExpr)
+			if !ok || !clockBanned[sel.Sel.Name] {
+				return true
+			}
+			if calleePkgPath(pkg, file, sel.X) != "time" {
+				return true
+			}
+			out = append(out, finding(pkg, "clockguard", call.Pos(),
+				"time."+sel.Sel.Name+" reads the wall clock in core logic; thread an injected clock.Clock through this path (internal/clock)"))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive grammar (documented in ARCHITECTURE.md "Contracts as lint"):
+//
+//	//adwise:allow <rule> <reason>
+//	    Suppresses findings of <rule> on the same line or the line
+//	    directly below (i.e. a trailing comment or a standalone comment
+//	    above the flagged statement). The reason is mandatory: an allow
+//	    without one is reported as a "directive" finding, and so is an
+//	    allow that suppresses nothing or names an unknown rule.
+//
+//	//adwise:zeroalloc
+//	    On a function's doc comment: opts the function into the hotpath
+//	    rule's zero-allocation checks. Anywhere else it is a "directive"
+//	    finding (a floating marker guards nothing).
+const (
+	allowPrefix     = "//adwise:allow"
+	zeroallocMarker = "//adwise:zeroalloc"
+)
+
+// allowDirective is one parsed //adwise:allow comment.
+type allowDirective struct {
+	pos    token.Position
+	rule   string
+	reason string
+	used   bool
+}
+
+// collectAllows parses every allow directive in the package.
+func collectAllows(pkg *Package) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				// Fixture affordance: a trailing `// want "..."` expectation
+				// (the analyzer test harness) is not part of the reason.
+				if i := strings.Index(rest, "// want"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				d := &allowDirective{pos: pkg.Fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					d.rule = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// zeroallocFuncs returns the function declarations carrying the zeroalloc
+// marker in their doc comment, plus directive findings for markers that
+// are not attached to any function.
+func zeroallocFuncs(pkg *Package) (map[*ast.FuncDecl]bool, []Finding) {
+	marked := make(map[*ast.FuncDecl]bool)
+	attached := make(map[token.Pos]bool)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(strings.TrimSpace(c.Text), zeroallocMarker) {
+					marked[fd] = true
+					attached[c.Pos()] = true
+				}
+			}
+		}
+	}
+	var findings []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(strings.TrimSpace(c.Text), zeroallocMarker) && !attached[c.Pos()] {
+					findings = append(findings, Finding{
+						Rule: "directive",
+						Pos:  pkg.Fset.Position(c.Pos()),
+						Msg:  "//adwise:zeroalloc is not attached to a function declaration's doc comment and guards nothing",
+					})
+				}
+			}
+		}
+	}
+	return marked, findings
+}
+
+// applyDirectives filters raw findings through the package's allow
+// directives and appends directive-hygiene findings: unexplained allows,
+// unused allows, unknown rule names, and floating zeroalloc markers.
+func applyDirectives(pkg *Package, raw []Finding) []Finding {
+	allows := collectAllows(pkg)
+	var out []Finding
+	for _, f := range raw {
+		suppressed := false
+		for _, d := range allows {
+			if d.rule == f.Rule && d.pos.Filename == f.Pos.Filename &&
+				(d.pos.Line == f.Pos.Line || d.pos.Line == f.Pos.Line-1) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, d := range allows {
+		switch {
+		case d.rule == "":
+			out = append(out, Finding{Rule: "directive", Pos: d.pos,
+				Msg: "//adwise:allow names no rule; write //adwise:allow <rule> <reason>"})
+		case !knownRule(d.rule):
+			out = append(out, Finding{Rule: "directive", Pos: d.pos,
+				Msg: "//adwise:allow names unknown rule \"" + d.rule + "\""})
+		case d.reason == "":
+			out = append(out, Finding{Rule: "directive", Pos: d.pos,
+				Msg: "suppression of " + d.rule + " without a reason; explain why the invariant does not apply here"})
+		case !d.used:
+			out = append(out, Finding{Rule: "directive", Pos: d.pos,
+				Msg: "suppression of " + d.rule + " suppresses nothing; remove the stale directive"})
+		}
+	}
+	return out
+}

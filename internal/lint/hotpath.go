@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() { RegisterRule(hotpath{}) }
+
+// hotpath enforces the zero-allocation contract on functions stamped
+// with //adwise:zeroalloc in their doc comment — the metric
+// Counter/Gauge/Timer recording paths and the serve lookup paths whose
+// AllocsPerRun tests pin 0 allocs. Inside a stamped function the rule
+// flags the constructs that allocate or are about to: fmt calls, func
+// literals capturing outer variables (the closure header escapes),
+// concrete non-pointer values converted or passed to interface types
+// (boxing), map/chan make without a capacity hint, and append (the
+// backing array may grow). Everything the rule flags is visible at the
+// call site, so a violation reads as "this line can allocate".
+type hotpath struct{}
+
+func (hotpath) Name() string { return "hotpath" }
+
+func (hotpath) Doc() string {
+	return "//adwise:zeroalloc functions may not contain fmt calls, capturing closures, interface boxing, capacity-less make, or append"
+}
+
+func (hotpath) Check(pkg *Package) []Finding {
+	marked, out := zeroallocFuncs(pkg)
+	if len(marked) == 0 {
+		return out
+	}
+	eachFunc(pkg, func(file *ast.File, fd *ast.FuncDecl) {
+		if marked[fd] {
+			out = append(out, checkZeroAlloc(pkg, file, fd)...)
+		}
+	})
+	return out
+}
+
+func checkZeroAlloc(pkg *Package, file *ast.File, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	flag := func(n ast.Node, msg string) {
+		out = append(out, finding(pkg, "hotpath", n.Pos(), msg+" in //adwise:zeroalloc function "+fd.Name.Name))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			if cap := capturedVar(pkg, e, fd); cap != "" {
+				flag(e, "func literal captures "+cap+"; the closure allocates")
+			}
+		case *ast.CallExpr:
+			out = append(out, checkZeroAllocCall(pkg, file, fd, e)...)
+		}
+		return true
+	})
+	return out
+}
+
+// capturedVar returns the name of a variable the func literal captures
+// from its enclosing function, or "".
+func capturedVar(pkg *Package, lit *ast.FuncLit, fd *ast.FuncDecl) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing declaration but outside
+		// the literal itself.
+		if obj.Pos() >= fd.Pos() && obj.Pos() < fd.End() &&
+			!(obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+			name = id.Name
+		}
+		return true
+	})
+	return name
+}
+
+func checkZeroAllocCall(pkg *Package, file *ast.File, fd *ast.FuncDecl, call *ast.CallExpr) []Finding {
+	var out []Finding
+	flag := func(n ast.Node, msg string) {
+		out = append(out, finding(pkg, "hotpath", n.Pos(), msg+" in //adwise:zeroalloc function "+fd.Name.Name))
+	}
+	fun := unwrapIndex(call.Fun)
+
+	// fmt anywhere in a zero-alloc path: formatting allocates.
+	if sel, ok := fun.(*ast.SelectorExpr); ok && calleePkgPath(pkg, file, sel.X) == "fmt" {
+		flag(call, "fmt."+sel.Sel.Name+" formats (and allocates)")
+		return out
+	}
+
+	// Builtins: make without capacity, append, new. An unresolved
+	// identifier of these names is treated as the builtin — the safe
+	// reading when type information is missing.
+	if id, ok := fun.(*ast.Ident); ok && (isBuiltin(pkg, id) || pkg.Info.Uses[id] == nil) {
+		switch id.Name {
+		case "make":
+			if len(call.Args) == 1 {
+				flag(call, "make without a capacity hint allocates and regrows")
+			}
+			return out
+		case "append":
+			flag(call, "append may grow the backing array; presize and index instead")
+			return out
+		case "new":
+			flag(call, "new allocates")
+			return out
+		}
+	}
+
+	// Interface boxing: explicit conversion to an interface type, or a
+	// concrete non-pointer argument passed as an interface parameter.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(types.Unalias(tv.Type)) && len(call.Args) == 1 {
+			if at, ok := pkg.Info.Types[call.Args[0]]; ok && at.Type != nil && boxes(at.Type) {
+				flag(call, "conversion to interface type boxes a concrete value")
+			}
+		}
+		return out
+	}
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.Type != nil {
+		if sig, ok := types.Unalias(tv.Type).Underlying().(*types.Signature); ok {
+			out = append(out, checkBoxingArgs(pkg, fd, call, sig)...)
+		}
+	}
+	return out
+}
+
+// isBuiltin reports whether expr resolves to a language builtin.
+func isBuiltin(pkg *Package, expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, ok = pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: true for concrete non-pointer types (the value escapes to
+// the heap to back the interface data word).
+func boxes(t types.Type) bool {
+	u := types.Unalias(t).Underlying()
+	switch u.(type) {
+	case *types.Interface, *types.Pointer, *types.Signature, *types.Map, *types.Chan:
+		return false
+	case *types.Basic:
+		b := u.(*types.Basic)
+		return b.Kind() != types.UntypedNil && b.Kind() != types.Invalid
+	}
+	return true
+}
+
+// checkBoxingArgs flags concrete non-pointer arguments passed to
+// interface-typed parameters (including variadic ...any tails).
+func checkBoxingArgs(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, sig *types.Signature) []Finding {
+	var out []Finding
+	params := sig.Params()
+	if params == nil {
+		return nil
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 && !call.Ellipsis.IsValid() {
+			if sl, ok := types.Unalias(params.At(params.Len() - 1).Type()).Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		} else if i < params.Len() {
+			pt = params.At(i).Type() // with s..., the slice itself passes: not boxing
+		}
+		if pt == nil || !types.IsInterface(types.Unalias(pt)) {
+			continue
+		}
+		at, ok := pkg.Info.Types[arg]
+		if !ok || at.Type == nil || !boxes(at.Type) {
+			continue
+		}
+		out = append(out, finding(pkg, "hotpath", arg.Pos(),
+			"concrete value passed as interface parameter boxes (allocates) in //adwise:zeroalloc function "+fd.Name.Name))
+	}
+	return out
+}

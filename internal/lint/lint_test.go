@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader type-checks the module (and the stdlib slice it imports)
+// once for the whole test binary; every test then analyzes against the
+// same cache.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return loader
+}
+
+// want is one `// want "substring"` expectation in a fixture file.
+type want struct {
+	file string
+	line int
+	text string
+}
+
+// collectWants extracts the expectations from a fixture package.
+func collectWants(pkg *Package) []want {
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, `// want "`)
+				if i < 0 {
+					continue
+				}
+				rest := text[i+len(`// want "`):]
+				j := strings.Index(rest, `"`)
+				if j < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, want{file: pos.Filename, line: pos.Line, text: rest[:j]})
+			}
+		}
+	}
+	return out
+}
+
+// fixtureDirs lists the fixture package directories under testdata/src.
+func fixtureDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("reading fixture root: %v", err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no fixture directories under testdata/src")
+	}
+	return dirs
+}
+
+// TestFixtures runs the whole suite over every fixture package and
+// checks findings against the `// want` expectations: each want must be
+// hit by a finding on its line, and each finding must be expected.
+func TestFixtures(t *testing.T) {
+	l := testLoader(t)
+	for _, name := range fixtureDirs(t) {
+		t.Run(name, func(t *testing.T) {
+			pattern := "./internal/lint/testdata/src/" + name
+			pkgs, err := l.Load([]string{pattern})
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", name, err)
+			}
+			if len(pkgs) != 1 {
+				t.Fatalf("fixture %s loaded %d packages, want 1", name, len(pkgs))
+			}
+			pkg := pkgs[0]
+			if len(pkg.TypeErrs) > 0 {
+				t.Errorf("fixture %s has type errors (fixtures must compile): %v", name, pkg.TypeErrs)
+			}
+			findings := CheckPackage(pkg)
+			wants := collectWants(pkg)
+
+			matched := make([]bool, len(findings))
+			for _, w := range wants {
+				hit := false
+				for i, f := range findings {
+					if f.Pos.Filename == w.file && f.Pos.Line == w.line && strings.Contains(f.Msg, w.text) {
+						matched[i] = true
+						hit = true
+					}
+				}
+				if !hit {
+					t.Errorf("%s:%d: expected finding containing %q, got none", filepath.Base(w.file), w.line, w.text)
+				}
+			}
+			for i, f := range findings {
+				if !matched[i] {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+		})
+	}
+}
+
+// TestEveryRuleHasFixtures is the meta-test: each registered rule must
+// ship at least one positive fixture file (with want expectations) and
+// one negative fixture file (expected clean), so a rule cannot silently
+// rot into never firing — or always firing.
+func TestEveryRuleHasFixtures(t *testing.T) {
+	for _, r := range Rules() {
+		dir := filepath.Join("testdata", "src", r.Name())
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("rule %q has no fixture directory %s", r.Name(), dir)
+			continue
+		}
+		pos, neg := false, false
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(string(data), `// want "`) {
+				pos = true
+			} else {
+				neg = true
+			}
+		}
+		if !pos {
+			t.Errorf("rule %q has no positive fixture (a file with // want expectations) in %s", r.Name(), dir)
+		}
+		if !neg {
+			t.Errorf("rule %q has no negative fixture (a want-free file expected clean) in %s", r.Name(), dir)
+		}
+	}
+}
+
+// TestLintClean is the self-check regression test: the tree must lint
+// clean, so a new violation fails `go test ./...` before it ever reaches
+// CI's adwise-lint step.
+func TestLintClean(t *testing.T) {
+	findings, err := RunLoader(testLoader(t), []string{"./..."})
+	if err != nil {
+		t.Fatalf("running suite over module: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("%d finding(s): fix them or add a reasoned //adwise:allow", len(findings))
+	}
+}
+
+// TestRuleRegistry pins the suite's composition: the five contract rules
+// must all be registered.
+func TestRuleRegistry(t *testing.T) {
+	want := []string{"clockguard", "hotpath", "maprange", "randguard", "streamerr"}
+	rules := Rules()
+	var got []string
+	for _, r := range rules {
+		got = append(got, r.Name())
+		if r.Doc() == "" {
+			t.Errorf("rule %q has no doc line", r.Name())
+		}
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("registered rules = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,350 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed — and, when possible, type-checked — package of
+// the module under analysis. Rules receive exactly this.
+type Package struct {
+	// Path is the import path ("github.com/adwise-go/adwise/internal/core").
+	Path string
+	// Name is the package name ("core", "main", ...).
+	Name string
+	// Dir is the absolute directory.
+	Dir string
+	// Fset positions every node in Files.
+	Fset *token.FileSet
+	// Files are the build-selected non-test files, parsed with comments.
+	Files []*ast.File
+	// Types is the type-checked package, nil when type checking failed
+	// outright. Partial failure (some imports unresolved) still yields a
+	// package; rules must tolerate missing type info.
+	Types *types.Package
+	// Info holds use/def/type resolution for Files. Always non-nil, but
+	// entries exist only where type checking succeeded.
+	Info *types.Info
+	// TypeErrs records type-checking problems, for -v style reporting.
+	// They do not stop analysis: rules degrade to syntactic checks.
+	TypeErrs []error
+}
+
+// Loader loads and type-checks packages of one module plus the standard
+// library, entirely from source: no export data, no subprocesses, no
+// dependencies outside the stdlib — the analyzer stays `go run`-able
+// anywhere the toolchain is.
+type Loader struct {
+	// ModuleRoot is the directory holding go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+
+	fset  *token.FileSet
+	ctx   build.Context
+	cache map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg      *Package // nil for dependency-only loads
+	tpkg     *types.Package
+	err      error
+	checking bool // cycle guard
+}
+
+// NewLoader returns a Loader rooted at the directory containing go.mod,
+// searching upward from dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	// Cgo-free view: every package in this module — and every stdlib
+	// package it imports — has a pure-Go configuration, and skipping cgo
+	// keeps the loader free of subprocesses.
+	ctx.CgoEnabled = false
+	ctx.GOOS = runtime.GOOS
+	ctx.GOARCH = runtime.GOARCH
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       token.NewFileSet(),
+		ctx:        ctx,
+		cache:      make(map[string]*loadEntry),
+	}, nil
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load resolves patterns to module packages, parses and type-checks them,
+// and returns them in deterministic (import path) order. Supported
+// patterns: "./..." (whole module), "./dir/..." (subtree), and "./dir" or
+// "dir" (single package directory). testdata, vendor, and dot-directories
+// are skipped by pattern expansion but loadable when named explicitly —
+// that is how the rule fixtures get analyzed.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirSet := make(map[string]bool)
+	for _, pat := range patterns {
+		dirs, err := l.expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range dirs {
+			dirSet[d] = true
+		}
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// expand resolves one pattern to package directories under the module.
+func (l *Loader) expand(pat string) ([]string, error) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+		if pat == "." || pat == "" {
+			pat = "."
+		}
+	}
+	base := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+	st, err := os.Stat(base)
+	if err != nil || !st.IsDir() {
+		return nil, fmt.Errorf("lint: pattern %q does not name a directory under %s", pat, l.ModuleRoot)
+	}
+	if !recursive {
+		if !l.hasGoFiles(base) {
+			return nil, fmt.Errorf("lint: no buildable Go files in %s", base)
+		}
+		return []string{base}, nil
+	}
+	var dirs []string
+	err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if l.hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// hasGoFiles reports whether dir holds at least one buildable non-test Go
+// file under the loader's build context.
+func (l *Loader) hasGoFiles(dir string) bool {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles) > 0
+}
+
+// importPathFor maps a module directory to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// loadDir parses and type-checks the package in dir, returning a fully
+// populated Package for analysis.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	ent := l.check(path, dir, true)
+	if ent.err != nil && ent.pkg == nil {
+		return nil, fmt.Errorf("lint: loading %s: %w", path, ent.err)
+	}
+	return ent.pkg, nil
+}
+
+// dirFor resolves an import path to a source directory: module packages
+// map into the module tree, everything else is looked up in GOROOT/src.
+func (l *Loader) dirFor(path string) (string, error) {
+	if path == l.ModulePath {
+		return l.ModuleRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest)), nil
+	}
+	dir := filepath.Join(l.ctx.GOROOT, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir, nil
+	}
+	return "", fmt.Errorf("lint: cannot resolve import %q (not in module %s, not in GOROOT)", path, l.ModulePath)
+}
+
+// Import implements types.Importer over the same cache the analyzed
+// packages use, so one Loader type-checks each package at most once.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	ent := l.check(path, dir, false)
+	if ent.tpkg == nil {
+		return nil, ent.err
+	}
+	return ent.tpkg, nil
+}
+
+// check parses and type-checks one package directory, memoized by import
+// path. full selects whether the caller needs a *Package with AST and
+// resolution Info (the analyzed set) or only the *types.Package
+// (dependencies). A dependency-only entry is upgraded when later loaded
+// in full.
+func (l *Loader) check(path, dir string, full bool) *loadEntry {
+	if ent, ok := l.cache[path]; ok {
+		if ent.checking {
+			return &loadEntry{err: fmt.Errorf("import cycle through %q", path)}
+		}
+		if !full || ent.pkg != nil {
+			return ent
+		}
+		// Upgrade: re-check with Info. Rare (a dependency later named on
+		// the command line), and still one extra pass at most.
+		delete(l.cache, path)
+	}
+	ent := &loadEntry{checking: true}
+	l.cache[path] = ent
+
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		ent.err = err
+		ent.checking = false
+		return ent
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			ent.err = err
+			ent.checking = false
+			return ent
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		ent.err = fmt.Errorf("no buildable Go files in %s", dir)
+		ent.checking = false
+		return ent
+	}
+
+	var info *types.Info
+	if full {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+		Sizes:       types.SizesFor("gc", l.ctx.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	ent.checking = false
+	ent.tpkg = tpkg
+	if err != nil && tpkg == nil {
+		ent.err = err
+		if !full {
+			return ent
+		}
+	}
+	if full {
+		ent.pkg = &Package{
+			Path:     path,
+			Name:     files[0].Name.Name,
+			Dir:      dir,
+			Fset:     l.fset,
+			Files:    files,
+			Types:    tpkg,
+			Info:     info,
+			TypeErrs: typeErrs,
+		}
+	}
+	return ent
+}

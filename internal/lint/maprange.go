@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() { RegisterRule(maprange{}) }
+
+// maprange enforces the schedule-invariance contract in the packages that
+// compute or serve assignments (internal/core, internal/partition,
+// internal/serve): Go map iteration order is deliberately randomized, so
+// a map-range loop whose body writes state visible outside the loop —
+// assignments, scores, appended output, channel sends, printed output —
+// makes results depend on iteration order and breaks the "any worker
+// count → identical assignments" guarantee. Pure read loops, and loops
+// that only build state local to the body, are fine.
+//
+// The check is write-based, not purity-based: a body that mutates outer
+// state only through method calls is invisible to it — treat any map
+// iteration in these packages as suspect when reviewing.
+type maprange struct{}
+
+// maprangeScoped are the package path suffixes the rule guards.
+var maprangeScoped = []string{"internal/core", "internal/partition", "internal/serve"}
+
+func (maprange) Name() string { return "maprange" }
+
+func (maprange) Doc() string {
+	return "no map iteration writing assignments, scores, or ordered output in core/partition/serve (schedule invariance)"
+}
+
+func (maprange) Check(pkg *Package) []Finding {
+	inScope := fixtureFor(pkg, "maprange")
+	for _, s := range maprangeScoped {
+		inScope = inScope || pathHasSuffix(pkg.Path, s)
+	}
+	if !inScope {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		f := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			out = append(out, checkMapRangeBody(pkg, f, rs)...)
+			return true
+		})
+	}
+	return out
+}
+
+// checkMapRangeBody flags order-dependent writes inside one map-range
+// body. A write is order-dependent when its target is rooted at a
+// variable declared outside the range statement — with one carve-out:
+// `outer[k] = v` where k is exactly the range key is a per-key store,
+// deterministic regardless of visit order.
+func checkMapRangeBody(pkg *Package, file *ast.File, rs *ast.RangeStmt) []Finding {
+	var out []Finding
+	keyID, _ := rs.Key.(*ast.Ident)
+	outer := func(e ast.Expr) *ast.Ident {
+		id := rootIdent(e)
+		if id == nil || id.Name == "_" {
+			return nil
+		}
+		if declaredWithin(pkg, id, rs.Pos(), rs.End()) {
+			return nil
+		}
+		return id
+	}
+	keyObj := func() types.Object {
+		if keyID == nil {
+			return nil
+		}
+		if o := pkg.Info.Defs[keyID]; o != nil {
+			return o
+		}
+		return pkg.Info.Uses[keyID]
+	}()
+	keyedStore := func(lhs ast.Expr, tok token.Token) bool {
+		ix, ok := lhs.(*ast.IndexExpr)
+		if !ok || tok != token.ASSIGN || keyID == nil {
+			return false
+		}
+		id, ok := ix.Index.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if o := pkg.Info.Uses[id]; o != nil || keyObj != nil {
+			return o == keyObj
+		}
+		return id.Name == keyID.Name // syntactic fallback without type info
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if keyedStore(lhs, st.Tok) {
+					continue
+				}
+				if id := outer(lhs); id != nil {
+					out = append(out, finding(pkg, "maprange", st.Pos(),
+						"write to "+id.Name+" inside map iteration makes the result depend on randomized map order; iterate a stable key sequence instead"))
+				}
+			}
+		case *ast.IncDecStmt:
+			if id := outer(st.X); id != nil {
+				out = append(out, finding(pkg, "maprange", st.Pos(),
+					"update of "+id.Name+" inside map iteration makes the result depend on randomized map order; iterate a stable key sequence instead"))
+			}
+		case *ast.SendStmt:
+			out = append(out, finding(pkg, "maprange", st.Pos(),
+				"channel send inside map iteration emits values in randomized map order; iterate a stable key sequence instead"))
+		case *ast.CallExpr:
+			if sel, ok := unwrapIndex(st.Fun).(*ast.SelectorExpr); ok &&
+				calleePkgPath(pkg, file, sel.X) == "fmt" {
+				out = append(out, finding(pkg, "maprange", st.Pos(),
+					"fmt output inside map iteration prints in randomized map order; iterate a stable key sequence instead"))
+			}
+		}
+		return true
+	})
+	return out
+}

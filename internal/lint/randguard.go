@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+func init() { RegisterRule(randguard{}) }
+
+// randguard enforces the reproducibility invariant on randomness: inside
+// internal/, any use of math/rand or math/rand/v2 must construct an
+// explicitly seeded local generator (rand.New(rand.NewPCG(seed, ...))).
+// The package-level convenience functions draw from the shared,
+// process-seeded global RNG, which makes runs — stream shuffles, tie
+// breaks, generated graphs — unreproducible and racy across goroutines.
+type randguard struct{}
+
+// randConstructors are the math/rand selectors that build local
+// generator state instead of touching the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewSource":  true,
+	"NewZipf":    true,
+}
+
+func (randguard) Name() string { return "randguard" }
+
+func (randguard) Doc() string {
+	return "no math/rand global-state functions in internal/; seed a local rand.New(...) so runs are reproducible"
+}
+
+func (randguard) Check(pkg *Package) []Finding {
+	if !strings.Contains(pkg.Path, "/internal/") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unwrapIndex(call.Fun).(*ast.SelectorExpr)
+			if !ok || randConstructors[sel.Sel.Name] {
+				return true
+			}
+			p := calleePkgPath(pkg, file, sel.X)
+			if p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			out = append(out, finding(pkg, "randguard", call.Pos(),
+				"rand."+sel.Sel.Name+" draws from the shared global RNG; use an explicitly seeded local instance (rand.New(rand.NewPCG(seed, ...)))"))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// This file holds the helpers shared by the rule implementations. Rules
+// prefer go/types resolution and fall back to syntax (import names) when
+// type information is missing, so a package that fails to type-check is
+// still linted rather than silently skipped.
+
+// finding builds a Finding at pos.
+func finding(pkg *Package, rule string, pos token.Pos, msg string) Finding {
+	return Finding{Rule: rule, Pos: pkg.Fset.Position(pos), Msg: msg}
+}
+
+// calleePkgPath resolves the package imported as the base of a selector
+// call (time.Now → "time"). It returns "" when the base is not a package
+// identifier. file supplies the syntactic fallback scope.
+func calleePkgPath(pkg *Package, file *ast.File, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if obj, ok := pkg.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		return "" // resolved, but to a variable or type — not a package
+	}
+	// Syntactic fallback: match the file's import specs by name. Local
+	// shadowing is invisible here, which is acceptable — the fallback only
+	// runs when type checking already failed.
+	for _, spec := range file.Imports {
+		ipath := strings.Trim(spec.Path.Value, `"`)
+		name := path.Base(ipath)
+		if spec.Name != nil {
+			name = spec.Name.Name
+		}
+		if name == id.Name {
+			return ipath
+		}
+	}
+	return ""
+}
+
+// unwrapIndex strips generic instantiation (rand.N[int64]) off a callee
+// expression so selector matching sees the underlying function.
+func unwrapIndex(fun ast.Expr) ast.Expr {
+	for {
+		switch e := fun.(type) {
+		case *ast.IndexExpr:
+			fun = e.X
+		case *ast.IndexListExpr:
+			fun = e.X
+		case *ast.ParenExpr:
+			fun = e.X
+		default:
+			return fun
+		}
+	}
+}
+
+// rootIdent returns the leftmost identifier of an lvalue-ish expression
+// (a, a.b.c, a[i].b, *a → a), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether the identifier's object is declared
+// inside [lo, hi). Unresolved identifiers report false (treated as outer:
+// the conservative answer for capture/write detection).
+func declaredWithin(pkg *Package, id *ast.Ident, lo, hi token.Pos) bool {
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= lo && obj.Pos() < hi
+}
+
+// pathHasSuffix reports whether import path p is exactly suffix or ends
+// with "/"+suffix — matching "internal/clock" against any module prefix.
+func pathHasSuffix(p, suffix string) bool {
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}
+
+// fixtureFor reports whether pkg is a lint test fixture for the named
+// rule (testdata/src/<rule>/...), which scoped rules treat as in scope so
+// fixtures exercise them without living inside the guarded packages.
+func fixtureFor(pkg *Package, rule string) bool {
+	return strings.Contains(pkg.Path, "lint/testdata/src/"+rule)
+}
+
+// eachFunc invokes fn for every function declaration with a body in the
+// package, passing the enclosing file.
+func eachFunc(pkg *Package, fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(f, fd)
+			}
+		}
+	}
+}

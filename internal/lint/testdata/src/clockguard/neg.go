@@ -1,0 +1,27 @@
+package clockfix
+
+import (
+	"time"
+
+	"github.com/adwise-go/adwise/internal/clock"
+)
+
+// Stopwatch measures through an injected clock — the compliant shape.
+// Pure time values (durations, arithmetic) never trip the rule.
+func Stopwatch(clk clock.Clock, work func()) time.Duration {
+	start := clk.Now()
+	work()
+	return clk.Now().Sub(start)
+}
+
+// Budget does duration arithmetic only; time.Duration is a value
+// constructor, not a clock read.
+func Budget(edges int64) time.Duration {
+	return time.Duration(edges) * 20 * time.Nanosecond
+}
+
+// Waived reads the wall clock under a reasoned waiver, which suppresses
+// the finding (and the reason keeps the directive rule quiet).
+func Waived() time.Time {
+	return time.Now() //adwise:allow clockguard fixture exercises a reasoned measurement-only waiver
+}

@@ -1,0 +1,28 @@
+// Package clockfix is a lint fixture: positive and negative cases for
+// the clockguard rule. It is excluded from normal builds (testdata) and
+// analyzed only by the lint test harness.
+package clockfix
+
+import "time"
+
+// Deadline reads the wall clock directly — the violation clockguard
+// exists to catch.
+func Deadline(d time.Duration) time.Time {
+	start := time.Now() // want "time.Now reads the wall clock"
+	return start.Add(d)
+}
+
+// Nap sleeps on the wall clock.
+func Nap() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+// Elapsed uses the time.Since shorthand, which reads the clock too.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// Cadence builds a raw ticker instead of going through clock.TickerClock.
+func Cadence() *time.Ticker {
+	return time.NewTicker(time.Second) // want "time.NewTicker reads the wall clock"
+}

@@ -1,0 +1,16 @@
+package directivefix
+
+import "time"
+
+// Reasoned is the compliant waiver: the rule, then why the invariant
+// does not apply at this site.
+func Reasoned() time.Time {
+	return time.Now() //adwise:allow clockguard fixture demonstrates a reasoned measurement-only read
+}
+
+// AboveLine shows the standalone-comment placement: the directive on the
+// line above the flagged statement also suppresses.
+func AboveLine() time.Time {
+	//adwise:allow clockguard fixture demonstrates the line-above placement
+	return time.Now()
+}

@@ -1,0 +1,24 @@
+// Package directivefix is a lint fixture for the //adwise:allow and
+// //adwise:zeroalloc directive grammar itself: unexplained, stale, and
+// malformed directives are findings.
+package directivefix
+
+import "time"
+
+// Unexplained suppresses a real finding but gives no reason.
+func Unexplained() time.Time {
+	return time.Now() //adwise:allow clockguard // want "suppression of clockguard without a reason"
+}
+
+// Stale carries an allow with nothing to suppress.
+func Stale() int {
+	return 42 //adwise:allow clockguard no clock call on this line // want "suppresses nothing"
+}
+
+// UnknownRule names a rule that does not exist.
+func UnknownRule() int {
+	return 7 //adwise:allow warpdrive not a real rule // want "unknown rule"
+}
+
+//adwise:zeroalloc // want "not attached to a function declaration"
+var floating = 1

@@ -1,0 +1,39 @@
+package hotpathfix
+
+// counters is a fixed-size stripe array, mirroring the metric package's
+// shape.
+type counters struct {
+	vals [8]int64
+}
+
+// Inc is a compliant zero-alloc hot path: index arithmetic and stores
+// only.
+//
+//adwise:zeroalloc
+func (c *counters) Inc(i int, n int64) {
+	c.vals[i&7] += n
+}
+
+// Lookup probes a preallocated table; pointers pass through interfaces
+// without boxing, and sized makes are fine outside stamped functions.
+//
+//adwise:zeroalloc
+func Lookup(table []int64, key uint64) (int64, bool) {
+	i := key & uint64(len(table)-1)
+	for {
+		v := table[i]
+		if v == 0 {
+			return 0, false
+		}
+		if v == int64(key) {
+			return v, true
+		}
+		i = (i + 1) & uint64(len(table)-1)
+	}
+}
+
+// Unstamped is ordinary code: the rule only applies to stamped
+// functions.
+func Unstamped() []int {
+	return append(make([]int, 0), 1, 2, 3)
+}

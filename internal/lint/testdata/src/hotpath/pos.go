@@ -1,0 +1,50 @@
+// Package hotpathfix is a lint fixture: positive and negative cases for
+// the hotpath rule (//adwise:zeroalloc contract).
+package hotpathfix
+
+import "fmt"
+
+// Format renders a label on every call.
+//
+//adwise:zeroalloc
+func Format(v int64) string {
+	return fmt.Sprintf("v=%d", v) // want "formats (and allocates)"
+}
+
+// Capture builds a closure over its parameter.
+//
+//adwise:zeroalloc
+func Capture(n int64) func() int64 {
+	return func() int64 { return n + 1 } // want "func literal captures n"
+}
+
+// Grow appends into an unsized buffer.
+//
+//adwise:zeroalloc
+func Grow(dst []int64, v int64) []int64 {
+	return append(dst, v) // want "append may grow the backing array"
+}
+
+// Table builds a map without a capacity hint.
+//
+//adwise:zeroalloc
+func Table() map[int64]int64 {
+	return make(map[int64]int64) // want "make without a capacity hint"
+}
+
+// Box passes a concrete value through an interface parameter.
+//
+//adwise:zeroalloc
+func Box(v int64) any {
+	return any(v) // want "conversion to interface type boxes a concrete value"
+}
+
+// sink accepts anything.
+func sink(v any) {}
+
+// BoxArg boxes at the call boundary.
+//
+//adwise:zeroalloc
+func BoxArg(v int64) {
+	sink(v) // want "concrete value passed as interface parameter boxes"
+}

@@ -1,0 +1,51 @@
+package maprangefix
+
+import "sort"
+
+// Lookup reads without writing outer state — pure membership scans are
+// order-insensitive.
+func Lookup(m map[int]string, want string) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Reindex performs a per-key store into another map: each key writes its
+// own slot exactly once, so visit order cannot change the result.
+func Reindex(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+// SortedFold is the compliant shape for ordered work: materialize keys,
+// sort, then iterate the stable sequence.
+func SortedFold(scores map[int]float64) float64 {
+	keys := make([]int, 0, len(scores))
+	for k := range scores {
+		keys = append(keys, k) //adwise:allow maprange key collection feeds an explicit sort below; set of keys is order-insensitive
+	}
+	sort.Ints(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += scores[k]
+	}
+	return total
+}
+
+// LocalState writes only variables declared inside the loop body, so
+// nothing outlives an iteration and order cannot matter.
+func LocalState(m map[int]int) bool {
+	for _, v := range m {
+		candidate := v * v
+		if candidate > 100 {
+			return true
+		}
+	}
+	return false
+}

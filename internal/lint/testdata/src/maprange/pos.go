@@ -1,0 +1,39 @@
+// Package maprangefix is a lint fixture: positive and negative cases
+// for the maprange rule (schedule-invariant scoring).
+package maprangefix
+
+// AccumulateScores folds map values into an outer float accumulator:
+// float addition is not associative, so the sum depends on randomized
+// iteration order.
+func AccumulateScores(scores map[int]float64) float64 {
+	total := 0.0
+	for _, s := range scores {
+		total += s // want "write to total inside map iteration"
+	}
+	return total
+}
+
+// CollectKeys appends in map order — ordered output from unordered
+// iteration.
+func CollectKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "write to keys inside map iteration"
+	}
+	return keys
+}
+
+// CountDown decrements an outer counter per entry.
+func CountDown(m map[int]bool, n int) int {
+	for range m {
+		n-- // want "update of n inside map iteration"
+	}
+	return n
+}
+
+// EmitAll sends map entries down a channel in iteration order.
+func EmitAll(m map[int]int, out chan int) {
+	for _, v := range m {
+		out <- v // want "channel send inside map iteration"
+	}
+}

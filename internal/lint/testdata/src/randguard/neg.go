@@ -1,0 +1,12 @@
+package randfix
+
+import "math/rand/v2"
+
+// SeededDraws builds an explicitly seeded local generator — the
+// reproducible shape every internal package must use.
+func SeededDraws(seed uint64, n int) int {
+	rng := rand.New(rand.NewPCG(seed, 0x5eed))
+	v := rng.IntN(n)
+	rng.Shuffle(v, func(i, j int) {})
+	return v
+}

@@ -1,0 +1,25 @@
+// Package randfix is a lint fixture: positive and negative cases for
+// the randguard rule.
+package randfix
+
+import "math/rand/v2"
+
+// GlobalDraws uses the package-level convenience functions, which share
+// the process-seeded global RNG — unreproducible across runs.
+func GlobalDraws(n int) int {
+	v := rand.IntN(n)         // want "rand.IntN draws from the shared global RNG"
+	if rand.Float64() < 0.5 { // want "rand.Float64 draws from the shared global RNG"
+		v++
+	}
+	return v
+}
+
+// GlobalShuffle shuffles through the global RNG.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the shared global RNG"
+}
+
+// GenericDraw exercises the generic rand.N entry point.
+func GenericDraw() int64 {
+	return rand.N[int64](10) // want "rand.N draws from the shared global RNG"
+}

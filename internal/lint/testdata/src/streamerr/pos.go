@@ -1,0 +1,46 @@
+// Package streamerrfix is a lint fixture: positive and negative cases
+// for the streamerr rule (the PR-3 stream error contract).
+package streamerrfix
+
+import (
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/stream"
+)
+
+// DrainSilently consumes the stream to exhaustion and never consults
+// Err: a truncated file would pass as a short success.
+func DrainSilently(s stream.Stream) []graph.Edge {
+	var out []graph.Edge
+	var buf [64]graph.Edge
+	for {
+		n := stream.NextBatch(s, buf[:]) // want "drains a stream to exhaustion without checking Err"
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+// DrainBatcherSilently drains through the Batcher method directly.
+func DrainBatcherSilently(b stream.Batcher, buf []graph.Edge) int64 {
+	var total int64
+	for {
+		n := b.NextBatch(buf) // want "drains a stream to exhaustion without checking Err"
+		if n == 0 {
+			return total
+		}
+		total += int64(n)
+	}
+}
+
+// DrainNextSilently drains edge-at-a-time via the type-resolved Next.
+func DrainNextSilently(s stream.Stream) int {
+	count := 0
+	for {
+		_, ok := s.Next() // want "drains a stream to exhaustion without checking Err"
+		if !ok {
+			return count
+		}
+		count++
+	}
+}

@@ -188,7 +188,7 @@ func (f *Flusher) Stop() {
 		close(f.queue)
 		select {
 		case <-f.emitDone:
-		case <-time.After(f.grace):
+		case <-time.After(f.grace): //adwise:allow clockguard Stop's grace period is a real-time bound on sink drain; a fake clock must not be able to wedge shutdown.
 		}
 	})
 }

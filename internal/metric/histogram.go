@@ -65,6 +65,8 @@ type Timer struct {
 }
 
 // Observe records one duration. Negative durations clamp to zero.
+//
+//adwise:zeroalloc
 func (t *Timer) Observe(d time.Duration) {
 	v := int64(d)
 	if v < 0 {
@@ -83,6 +85,8 @@ func (t *Timer) Observe(d time.Duration) {
 
 // Since observes the time elapsed from start on the registry clock — the
 // canonical "stopwatch" use: start := clk.Now(); ...; t.Since(start).
+//
+//adwise:zeroalloc
 func (t *Timer) Since(start time.Time) {
 	t.Observe(t.clk.Now().Sub(start))
 }

@@ -84,6 +84,8 @@ func stripeIndex() uint32 {
 }
 
 // Inc adds n to the counter. Safe for unbounded concurrency; zero-alloc.
+//
+//adwise:zeroalloc
 func (c *Counter) Inc(n int64) {
 	c.stripes[stripeIndex()&c.mask].v.Add(n)
 }
@@ -107,9 +109,13 @@ type Gauge struct {
 }
 
 // Set stores the gauge value.
+//
+//adwise:zeroalloc
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add adjusts the gauge by delta.
+//
+//adwise:zeroalloc
 func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 
 // Value returns the current gauge value.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/adwise-go/adwise/internal/clock"
 	"github.com/adwise-go/adwise/internal/core"
 	"github.com/adwise-go/adwise/internal/metric"
 	"github.com/adwise-go/adwise/internal/partition"
@@ -282,6 +283,6 @@ func init() {
 			// Full spread: run NE over the global partition set directly.
 			allowed = nil
 		}
-		return &neStrategy{k: s.K, allowed: allowed, seed: s.Seed}, nil
+		return &neStrategy{k: s.K, allowed: allowed, seed: s.Seed, clk: clock.Real{}}, nil
 	})
 }

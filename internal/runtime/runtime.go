@@ -19,6 +19,7 @@ package runtime
 import (
 	"time"
 
+	"github.com/adwise-go/adwise/internal/clock"
 	"github.com/adwise-go/adwise/internal/core"
 	"github.com/adwise-go/adwise/internal/graph"
 	"github.com/adwise-go/adwise/internal/metrics"
@@ -118,12 +119,21 @@ func AggregateStats(stats []Stats) Stats {
 // Strategy via the batched partition.Run loop.
 type partitionerStrategy struct {
 	p     partition.Partitioner
+	clk   clock.Clock
 	stats Stats
 }
 
 // FromPartitioner wraps a single-edge streaming partitioner as a Strategy.
+// Latency is measured on the real clock; FromPartitionerClock substitutes
+// a fake one for deterministic tests.
 func FromPartitioner(p partition.Partitioner) Strategy {
-	return &partitionerStrategy{p: p}
+	return FromPartitionerClock(p, clock.Real{})
+}
+
+// FromPartitionerClock is FromPartitioner with an injected time source
+// for the PartitioningLatency measurement.
+func FromPartitionerClock(p partition.Partitioner, clk clock.Clock) Strategy {
+	return &partitionerStrategy{p: p, clk: clk}
 }
 
 // StreamingRunner is the historical name of FromPartitioner, kept for the
@@ -133,7 +143,7 @@ func StreamingRunner(p partition.Partitioner) Strategy { return FromPartitioner(
 func (ps *partitionerStrategy) Name() string { return ps.p.Name() }
 
 func (ps *partitionerStrategy) Run(s stream.Stream) (*metrics.Assignment, error) {
-	start := time.Now()
+	start := ps.clk.Now()
 	a, err := partition.Run(s, ps.p)
 	if err != nil {
 		return nil, err
@@ -142,7 +152,7 @@ func (ps *partitionerStrategy) Run(s stream.Stream) (*metrics.Assignment, error)
 	ps.stats = Stats{
 		Assignments:         c.Assigned(),
 		Vertices:            c.Vertices(),
-		PartitioningLatency: time.Since(start),
+		PartitioningLatency: ps.clk.Now().Sub(start),
 	}
 	return a, nil
 }
@@ -195,13 +205,14 @@ type neStrategy struct {
 	k       int
 	allowed []int
 	seed    uint64
+	clk     clock.Clock
 	stats   Stats
 }
 
 func (n *neStrategy) Name() string { return "ne" }
 
 func (n *neStrategy) Run(s stream.Stream) (*metrics.Assignment, error) {
-	start := time.Now()
+	start := n.clk.Now()
 	edges, err := stream.Collect(s)
 	if err != nil {
 		return nil, err
@@ -228,7 +239,7 @@ func (n *neStrategy) Run(s stream.Stream) (*metrics.Assignment, error) {
 	n.stats = Stats{
 		Assignments:         int64(a.Len()),
 		Vertices:            g.V(),
-		PartitioningLatency: time.Since(start),
+		PartitioningLatency: n.clk.Now().Sub(start),
 	}
 	return a, nil
 }

@@ -305,6 +305,8 @@ func (ix *Index) K() int { return ix.k }
 func (ix *Index) Shards() int { return len(ix.shards) }
 
 // lookup probes the sharded edge tables for an exact packed key.
+//
+//adwise:zeroalloc
 func (ix *Index) lookup(key uint64) (int32, bool) {
 	h := hashx.SplitMix64(key)
 	sh := &ix.shards[h&ix.shardMask]
@@ -325,6 +327,8 @@ func (ix *Index) lookup(key uint64) (int32, bool) {
 // does not distinguish edge direction, so if the oriented key is unknown
 // the reversed orientation is tried before reporting a miss. The second
 // return is false for edges that were never assigned.
+//
+//adwise:zeroalloc
 func (ix *Index) Partition(src, dst graph.VertexID) (int32, bool) {
 	if p, ok := ix.lookup(edgeKey(src, dst)); ok {
 		return p, true
@@ -338,6 +342,8 @@ func (ix *Index) Partition(src, dst graph.VertexID) (int32, bool) {
 // PartitionBatch resolves many edges in one call, writing partition ids
 // (or -1 for unknown edges) into dst, which is grown only if its capacity
 // is insufficient. It returns the filled slice.
+//
+//adwise:zeroalloc
 func (ix *Index) PartitionBatch(edges []graph.Edge, dst []int32) []int32 {
 	if cap(dst) < len(edges) {
 		dst = make([]int32, len(edges))
@@ -355,6 +361,8 @@ func (ix *Index) PartitionBatch(edges []graph.Edge, dst []int32) []int32 {
 }
 
 // vFind returns v's vertex-table slot, or -1 if v was never seen.
+//
+//adwise:zeroalloc
 func (ix *Index) vFind(v graph.VertexID) int {
 	i := hashx.SplitMix64(uint64(v)) & ix.vMask
 	for {
@@ -372,6 +380,8 @@ func (ix *Index) vFind(v graph.VertexID) int {
 // bitmap arena — a slice header, no allocation. The view is valid for the
 // lifetime of the index (the index is immutable). Unknown vertices get an
 // empty set of capacity 0.
+//
+//adwise:zeroalloc
 func (ix *Index) Replicas(v graph.VertexID) bitset.Set {
 	if slot := ix.vFind(v); slot >= 0 {
 		return bitset.View(ix.vWords[slot*ix.wpe:(slot+1)*ix.wpe], ix.k)
@@ -380,6 +390,8 @@ func (ix *Index) Replicas(v graph.VertexID) bitset.Set {
 }
 
 // ReplicaCount returns |Rv|, zero for unknown vertices.
+//
+//adwise:zeroalloc
 func (ix *Index) ReplicaCount(v graph.VertexID) int {
 	if slot := ix.vFind(v); slot >= 0 {
 		return int(ix.vCounts[slot])
