@@ -106,6 +106,11 @@ var (
 	// GOMAXPROCS). Any shard count produces edge-for-edge identical
 	// assignments.
 	WithScoreWorkers = core.WithScoreWorkers
+	// WithPerEdgeRefill restores the serial one-edge-at-a-time window
+	// refill (ablation; identical assignments either way).
+	WithPerEdgeRefill = core.WithPerEdgeRefill
+	// WithRefillBatch caps how many edges one batched refill pass stages.
+	WithRefillBatch = core.WithRefillBatch
 )
 
 // NewADWISE returns an ADWISE partitioner for k partitions.

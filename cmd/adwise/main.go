@@ -44,6 +44,8 @@ func run(args []string) error {
 		latency    = fs.Duration("latency", 0, "ADWISE latency preference L (0 = single-edge behaviour)")
 		window     = fs.Int("window", 0, "ADWISE fixed window size (overrides -latency adaptation)")
 		workers    = fs.Int("score-workers", 0, "ADWISE window-scoring shard budget (0 = auto: GOMAXPROCS shards per instance on the shared work-stealing pool; explicit values are distributed across the -z instances)")
+		refillCap  = fs.Int("refill-batch", 0, "ADWISE refill staging cap: edges scored per batched refill pass (0 = default 2048; batch size never changes assignments)")
+		perEdge    = fs.Bool("per-edge-refill", false, "ADWISE serial one-edge-at-a-time window refill (ablation; identical assignments to batched refill)")
 		z          = fs.Int("z", 1, "parallel partitioner instances")
 		spread     = fs.Int("spread", 0, "partitions per instance (default k/z)")
 		seed       = fs.Uint64("seed", 42, "hash/graph seed")
@@ -77,8 +79,16 @@ func run(args []string) error {
 		defer flusher.Stop()
 	}
 
+	var refillOpts []adwise.Option
+	if *refillCap > 0 {
+		refillOpts = append(refillOpts, adwise.WithRefillBatch(*refillCap))
+	}
+	if *perEdge {
+		refillOpts = append(refillOpts, adwise.WithPerEdgeRefill())
+	}
+
 	start := time.Now()
-	a, err := partitionInput(*in, *algo, *k, *z, *spread, *seed, *latency, *window, *workers, reg)
+	a, err := partitionInput(*in, *algo, *k, *z, *spread, *seed, *latency, *window, *workers, refillOpts, reg)
 	if err != nil {
 		return err
 	}
@@ -108,8 +118,8 @@ func run(args []string) error {
 	return nil
 }
 
-func partitionInput(in, algo string, k, z, spread int, seed uint64, latency time.Duration, window, workers int, reg *adwise.MetricRegistry) (*adwise.Assignment, error) {
-	spec := adwise.StrategySpec{K: k, Seed: seed, Latency: latency, Window: window, ScoreWorkers: workers, Metrics: reg}
+func partitionInput(in, algo string, k, z, spread int, seed uint64, latency time.Duration, window, workers int, opts []adwise.Option, reg *adwise.MetricRegistry) (*adwise.Assignment, error) {
+	spec := adwise.StrategySpec{K: k, Seed: seed, Latency: latency, Window: window, ScoreWorkers: workers, Options: opts, Metrics: reg}
 	if z > 1 {
 		if spread == 0 {
 			spread = k / z

@@ -14,7 +14,7 @@ import (
 	"github.com/adwise-go/adwise/internal/stream"
 )
 
-// Scoring measures the window-scoring pool in two regimes.
+// Scoring measures the window-scoring pool in three regimes.
 //
 // The "single" section is the historical sweep: one ADWISE instance (no
 // spotlight, so the scaling of the scoring loop is not confounded with
@@ -24,6 +24,15 @@ import (
 // sharded-pass count, the stolen-shard count, and whether the assignment
 // sequence matched the serial run edge-for-edge — the pool's determinism
 // contract, re-verified on every sweep.
+//
+// The "refill" section isolates what batched refill buys: at fixed
+// (window, workers) it compares the historical per-edge refill
+// (WithPerEdgeRefill, the reference) against the default batched refill,
+// which stages the window deficit and scores it as one pool pass through
+// the branch-light replica-scan kernel. Speedup here is per-edge latency
+// over batched latency of the *same* cell — the refill dimension, not the
+// worker dimension — and every batched run is verified edge-for-edge
+// identical to its per-edge reference.
 //
 // The "skew" section is the workload the process-wide work-stealing pool
 // exists for: a z=4 spotlight run over deliberately skewed segments (one
@@ -58,6 +67,7 @@ func Scoring(cfg Config) (*Table, error) {
 		Columns: []string{"mode", "window", "workers", "latency", "speedup", "sharded passes", "stolen", "identical"},
 		Notes: []string{
 			"single/* speedup is against the workers=1 run of the same window; skew/* speedup is against skew/serial;",
+			"refill/batched speedup is against refill/per-edge at the same (window, workers) — the refill dimension;",
 			"identical = the run's assignment sequence matched its serial reference edge-for-edge (the",
 			"deterministic-reduction contract; with stealing, executor identity is invisible to results);",
 			"stolen counts pool-pass shards executed by pool workers rather than the submitting instance —",
@@ -66,6 +76,9 @@ func Scoring(cfg Config) (*Table, error) {
 		},
 	}
 	if err := scoringSingle(cfg, tab); err != nil {
+		return tab, err
+	}
+	if err := scoringRefill(cfg, tab); err != nil {
 		return tab, err
 	}
 	if err := scoringSkew(cfg, tab); err != nil {
@@ -135,6 +148,79 @@ func scoringSingle(cfg Config, tab *Table) error {
 			if !ident {
 				return fmt.Errorf("bench: scoring w=%d workers=%d diverged from the serial assignment sequence", window, workers)
 			}
+		}
+	}
+	return nil
+}
+
+// scoringRefill runs the batched-vs-per-edge refill comparison: both
+// paths at the same window and worker count, per-edge as the latency and
+// identity reference. Unlike scoringSingle this measures the refill
+// dimension — batching pays off even at workers=1 (one scoreView and one
+// batch drain amortised over the whole deficit, plus the word-scan
+// kernel), and with workers > 1 the staged batch is the pass the pool can
+// finally parallelise.
+func scoringRefill(cfg Config, tab *Table) error {
+	g, err := gen.PresetWeb.Generate(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("bench: generating web graph: %w", err)
+	}
+	edges := stream.Shuffled(g.Edges, cfg.Seed+2)
+
+	const window = 1 << 12
+	workerSweep := []int{1, 2, 8}
+	if cfg.ScoreWorkers > 0 {
+		workerSweep = []int{cfg.ScoreWorkers}
+	}
+
+	clk := cfg.clock()
+	run := func(workers int, perEdge bool) (*metrics.Assignment, core.RunStats, time.Duration, error) {
+		opts := []core.Option{
+			core.WithInitialWindow(window),
+			core.WithFixedWindow(),
+			core.WithMaxCandidates(window),
+			core.WithScoreWorkers(workers),
+			core.WithTotalEdgesHint(int64(len(edges))),
+		}
+		if perEdge {
+			opts = append(opts, core.WithPerEdgeRefill())
+		}
+		ad, err := core.New(cfg.K, opts...)
+		if err != nil {
+			return nil, core.RunStats{}, 0, err
+		}
+		start := clk.Now()
+		a, err := ad.Run(stream.FromEdges(edges))
+		if err != nil {
+			return nil, core.RunStats{}, 0, err
+		}
+		return a, ad.Stats(), clk.Now().Sub(start), nil
+	}
+
+	for _, workers := range workerSweep {
+		ref, _, refLat, err := run(workers, true)
+		if err != nil {
+			return fmt.Errorf("bench: refill per-edge workers=%d: %w", workers, err)
+		}
+		cfg.progressf("  scoring refill/per-edge w=%d workers=%d: %v", window, workers, refLat)
+		tab.AddRow("refill/per-edge", window, workers, refLat, "1.00x", 0, 0, "yes")
+
+		a, st, lat, err := run(workers, false)
+		if err != nil {
+			return fmt.Errorf("bench: refill batched workers=%d: %w", workers, err)
+		}
+		ident := sameAssignments(ref, a)
+		tab.AddRow("refill/batched", window, workers, lat,
+			fmt.Sprintf("%.2fx", float64(refLat)/float64(lat)),
+			st.ParallelScorePasses, st.StolenScoreShards, identLabel(ident))
+		cfg.progressf("  scoring refill/batched w=%d workers=%d: %v (%.2fx), %d refill passes (%d edges), %d sharded passes",
+			window, workers, lat, float64(refLat)/float64(lat), st.RefillPasses, st.BatchedAdds, st.ParallelScorePasses)
+		if !ident {
+			return fmt.Errorf("bench: batched refill workers=%d diverged from the per-edge assignment sequence", workers)
+		}
+		if st.RefillPasses == 0 || st.BatchedAdds == 0 {
+			return fmt.Errorf("bench: batched refill workers=%d reported no refill passes (%d) or batched adds (%d)",
+				workers, st.RefillPasses, st.BatchedAdds)
 		}
 	}
 	return nil

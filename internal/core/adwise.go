@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/adwise-go/adwise/internal/clock"
+	"github.com/adwise-go/adwise/internal/graph"
 	"github.com/adwise-go/adwise/internal/metric"
 	"github.com/adwise-go/adwise/internal/metrics"
 	"github.com/adwise-go/adwise/internal/scorepool"
@@ -23,6 +24,11 @@ const (
 	DefaultInitialLambda = 1.0
 	DefaultMaxWindow     = 1 << 14
 	DefaultMaxCandidates = 64
+	// DefaultRefillBatch caps how many fresh edges one refill pass stages
+	// and scores together. Large enough that a full-deficit refill of the
+	// default window amortises the pool dispatch; small enough that the
+	// staging buffer stays cache-resident.
+	DefaultRefillBatch = 2048
 )
 
 type config struct {
@@ -43,6 +49,8 @@ type config struct {
 	lazy          bool  // lazy window traversal; eager rescans everything (ablation)
 	totalEdges    int64 // m hint when the stream cannot report it
 	scoreWorkers  int   // window-scoring logical shards; 0 = auto (GOMAXPROCS)
+	perEdgeRefill bool  // serial one-edge-at-a-time refill (reference/ablation)
+	refillBatch   int   // refill staging cap; 0 = DefaultRefillBatch
 	pool          *scorepool.Pool
 	poolSet       bool             // WithScorePool was used (nil is a meaningful value)
 	metrics       *metric.Registry // nil → no telemetry published
@@ -151,6 +159,23 @@ func WithScoreWorkers(n int) Option {
 	return func(c *config) { c.scoreWorkers = n }
 }
 
+// WithPerEdgeRefill restores the serial refill: the window draws one edge
+// at a time and scores it on the submitting goroutine. The default scores
+// each refill batch as one pool pass; the two paths are edge-for-edge
+// identical (the equivalence the refill property tests pin down), so this
+// knob exists for ablation and as the reference in those tests, not as a
+// correctness escape hatch.
+func WithPerEdgeRefill() Option {
+	return func(c *config) { c.perEdgeRefill = true }
+}
+
+// WithRefillBatch caps how many fresh edges one batched refill pass
+// stages and scores together (default DefaultRefillBatch). Smaller caps
+// bound staging memory; the batch boundary can never change assignments.
+func WithRefillBatch(n int) Option {
+	return func(c *config) { c.refillBatch = n }
+}
+
 // WithScorePool overrides the pool scoring shards execute on. The default
 // (when more than one shard is configured) is the process-wide shared
 // work-stealing pool, scorepool.Shared(). Passing nil forces every pass
@@ -215,6 +240,13 @@ type RunStats struct {
 	// attribute ops to the instance even when a shared pool executed them.
 	// Serial one-edge rescores are accounted to ScoreComputations only.
 	WorkerScoreOps []int64
+	// RefillPasses counts batched window refills (one staged batch scored
+	// and inserted per pass); zero under WithPerEdgeRefill.
+	RefillPasses int64
+	// BatchedAdds counts edges that entered the window through batched
+	// refill passes; under the default refill this equals Assignments on a
+	// clean run, and zero under WithPerEdgeRefill.
+	BatchedAdds int64
 }
 
 // WindowChange is one adaptive window resize event.
@@ -267,6 +299,9 @@ func New(k int, opts ...Option) (*Adwise, error) {
 	}
 	if cfg.scoreWorkers < 0 {
 		return nil, fmt.Errorf("core: score workers must be >= 0 (0 = auto), got %d", cfg.scoreWorkers)
+	}
+	if cfg.refillBatch < 0 {
+		return nil, fmt.Errorf("core: refill batch must be >= 0 (0 = default), got %d", cfg.refillBatch)
 	}
 	parts := cfg.allowed
 	if len(parts) == 0 {
@@ -334,7 +369,16 @@ func (a *Adwise) Run(s stream.Stream) (*metrics.Assignment, error) {
 		a.scorer.totalEdges = hint
 	}
 	if hint < 0 {
-		hint = 1024
+		// The stream cannot report its length (Remaining() < 0) and no
+		// WithTotalEdgesHint was given. The assignment sizing contract for
+		// that case: start from the largest edge population the
+		// configuration itself implies — the window bound — and let the
+		// assignment grow geometrically past it. maxWindow dominates
+		// initialWindow by the New validation, so it is the sharper floor.
+		hint = int64(a.cfg.maxWindow)
+		if a.scorer.totalEdges > 0 {
+			hint = a.scorer.totalEdges
+		}
 	}
 	totalEdges := a.scorer.totalEdges
 
@@ -357,13 +401,68 @@ func (a *Adwise) Run(s stream.Stream) (*metrics.Assignment, error) {
 		totalScoreSum float64
 	)
 
+	// Refill is two-phase by default: drain the window deficit from the
+	// buffered stream in one NextBatch sweep, score the whole batch as a
+	// single pool pass (window.addBatch), then classify/insert serially in
+	// stream order. WithPerEdgeRefill keeps the historical one-edge loop;
+	// both paths are edge-for-edge identical.
+	batchCap := a.cfg.refillBatch
+	if batchCap <= 0 {
+		batchCap = DefaultRefillBatch
+	}
+	var refillBuf []graph.Edge
+	if !a.cfg.perEdgeRefill {
+		refillBuf = make([]graph.Edge, batchCap)
+	}
+	var mRefillPasses, mBatchedAdds *metric.Counter
+	var mBatchSize *metric.Gauge
+	if a.cfg.metrics != nil {
+		mRefillPasses = a.cfg.metrics.Counter(MetricRefillPasses)
+		mBatchedAdds = a.cfg.metrics.Counter(MetricRefillBatchedAdds)
+		mBatchSize = a.cfg.metrics.Gauge(MetricRefillBatchSize)
+	}
+
 	refill := func() {
+		if a.cfg.perEdgeRefill {
+			for a.win.len() < w {
+				e, ok := src.Next()
+				if !ok {
+					return
+				}
+				a.win.add(e)
+			}
+			return
+		}
 		for a.win.len() < w {
-			e, ok := src.Next()
-			if !ok {
+			d := w - a.win.len()
+			if d > batchCap {
+				d = batchCap
+			}
+			buf := refillBuf[:d]
+			filled := 0
+			for filled < d {
+				n := src.NextBatch(buf[filled:])
+				if n == 0 {
+					break
+				}
+				filled += n
+			}
+			if filled == 0 {
 				return
 			}
-			a.win.add(e)
+			a.win.addBatch(buf[:filled])
+			a.stats.RefillPasses++
+			a.stats.BatchedAdds += int64(filled)
+			if mRefillPasses != nil {
+				mRefillPasses.Inc(1)
+				mBatchedAdds.Inc(int64(filled))
+				mBatchSize.Set(int64(filled))
+			}
+			if filled < d {
+				// Short batch: the stream is exhausted (or failed — Err is
+				// checked after the window drains).
+				return
+			}
 		}
 	}
 

@@ -5,6 +5,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"github.com/adwise-go/adwise/internal/graph"
 	"github.com/adwise-go/adwise/internal/vcache"
 )
@@ -49,11 +51,20 @@ type scoreScratch struct {
 
 func newScoreScratch(k, nparts int) *scoreScratch {
 	return &scoreScratch{
-		csCounts:    make([]float64, k),
+		// Padded to a whole number of 64-bit bitmap words: the clustering
+		// accumulation scatters by word-scanning replica bitmaps, and a
+		// padded buffer lets that scan index without a per-bit k bound
+		// check (bits ≥ k are never set, but the slots must exist).
+		csCounts:    make([]float64, paddedParts(k)),
 		scores:      make([]float64, nparts),
 		seenScratch: make(map[graph.VertexID]struct{}, 64),
 	}
 }
+
+// paddedParts rounds the partition count up to a whole number of 64-bit
+// replica-bitmap words, so word-scan kernels can index scatter targets by
+// raw bit position without bounds branches.
+func paddedParts(k int) int { return (k + 63) / 64 * 64 }
 
 // scoreView is the immutable scoring snapshot for one window pass. All
 // fields are fixed at construction (scorer.view); scoreEdge only reads
@@ -77,7 +88,14 @@ type scoreView struct {
 	// balance[i] = λ·B(parts[i]), fixed for the pass. Aliases the minting
 	// scorer's balBuf; valid until the next view is minted, which only
 	// happens at pass boundaries.
-	balance    []float64
+	balance []float64
+	// partIdx maps a global partition id to its index in parts (and hence
+	// in balance and the per-scratch score buffer), −1 for partitions
+	// outside the allowed spread. Padded to whole bitmap words and static
+	// for the scorer's lifetime; it is what lets the kernel scatter
+	// replication addends by replica-bitmap bit position instead of
+	// probing Contains per allowed partition.
+	partIdx    []int32
 	maxDeg     float64
 	clustering bool
 }
@@ -88,56 +106,94 @@ type scoreView struct {
 // themselves); it drives the clustering score of Eq. 6. All mutable state
 // lives in scr, so concurrent calls with distinct scratches are safe.
 //
+// This is the replica-scan kernel of the scoring hot loop, written
+// branch-light over the flat SoA buffers: the score buffer is seeded with
+// the precomputed balance terms in one copy, the replication addends are
+// scattered by word-scanning the endpoint replica bitmaps with math/bits
+// (set bits only — no per-partition Contains probe, no per-bit closure),
+// the clustering counts accumulate the same way over the neighbour
+// bitmaps, and one flat fold finishes the per-partition sums and the
+// argmax. Floating-point operation order per partition slot is identical
+// to the historical per-partition loop (balance, +R(u), +R(v), +CS, in
+// that order), so scores are bit-identical.
+//
 // The returned slice aliases scr.scores and is only valid until the next
 // scoreEdge call with the same scratch.
+//
+//adwise:zeroalloc
 func (v *scoreView) scoreEdge(e graph.Edge, neighbors []graph.VertexID, scr *scoreScratch) (scores []float64, best float64, bestPart int) {
 	scr.scoreOps++
 
 	// Degree-aware replication score (Eq. 5): Ψu = deg(u)/(2·maxDegree),
 	// so already-replicated low-degree endpoints pull harder (2−Ψ larger)
 	// than high-degree ones — replicating high-degree vertices first.
-	degU, ru := v.cache.Lookup(e.Src)
-	degV, rv := v.cache.Lookup(e.Dst)
-	psiU := float64(degU) / (2 * v.maxDeg)
-	psiV := float64(degV) / (2 * v.maxDeg)
+	degU, ruWords := v.cache.LookupWords(e.Src)
 
 	// Clustering score (Eq. 6): per-partition count of window neighbours
-	// already replicated there, normalised by |N(u)∪N(v)|.
+	// already replicated there, normalised by |N(u)∪N(v)|. The counters
+	// accumulate at every set bit (csCounts is padded to whole words);
+	// only allowed slots are cleared and read, as before.
 	useCS := v.clustering && len(neighbors) > 0
 	if useCS {
 		for _, p := range v.parts {
 			scr.csCounts[p] = 0
 		}
 		for _, n := range neighbors {
-			v.cache.Replicas(n).ForEach(func(p int) bool {
-				scr.csCounts[p]++
-				return true
-			})
+			_, nw := v.cache.LookupWords(n)
+			for wi, wd := range nw {
+				base := wi << 6
+				for wd != 0 {
+					scr.csCounts[base+bits.TrailingZeros64(wd)]++
+					wd &= wd - 1
+				}
+			}
 		}
 	}
 
-	invN := 0.0
-	if useCS {
-		invN = 1 / float64(len(neighbors))
+	// Seed every allowed slot with its balance term, then scatter the
+	// replication addends at the endpoints' replica bits.
+	copy(scr.scores, v.balance)
+	scatterReplica(scr.scores, v.partIdx, ruWords, 2-float64(degU)/(2*v.maxDeg))
+	if e.Dst != e.Src {
+		degV, rvWords := v.cache.LookupWords(e.Dst)
+		scatterReplica(scr.scores, v.partIdx, rvWords, 2-float64(degV)/(2*v.maxDeg))
 	}
+
+	if useCS {
+		invN := 1 / float64(len(neighbors))
+		for i, p := range v.parts {
+			scr.scores[i] += scr.csCounts[p] * invN
+		}
+	}
+
+	// First-wins argmax in allowed-partition order — the same tie-break
+	// as the historical fused loop.
 	best, bestPart = -1, v.parts[0]
-	for i, p := range v.parts {
-		g := v.balance[i]
-		if ru.Contains(p) {
-			g += 2 - psiU
-		}
-		if e.Dst != e.Src && rv.Contains(p) {
-			g += 2 - psiV
-		}
-		if useCS {
-			g += scr.csCounts[p] * invN
-		}
-		scr.scores[i] = g
+	for i, g := range scr.scores {
 		if g > best {
-			best, bestPart = g, p
+			best, bestPart = g, v.parts[i]
 		}
 	}
 	return scr.scores, best, bestPart
+}
+
+// scatterReplica adds addend to the score slot of every allowed partition
+// whose bit is set in words — the word-scan replacement for the
+// per-partition Contains probe of the replication term. partIdx is padded
+// past the highest possible bit, so the inner loop's only branch besides
+// the scan itself is the allowed-spread guard.
+//
+//adwise:zeroalloc
+func scatterReplica(scores []float64, partIdx []int32, words []uint64, addend float64) {
+	for wi, wd := range words {
+		base := wi << 6
+		for wd != 0 {
+			if idx := partIdx[base+bits.TrailingZeros64(wd)]; idx >= 0 {
+				scores[idx] += addend
+			}
+			wd &= wd - 1
+		}
+	}
 }
 
 // scorer evaluates g(e,p) against a vertex cache and maintains the
@@ -163,9 +219,20 @@ type scorer struct {
 	// refilled by view() at each pass boundary. At most one pass (and hence
 	// one live view) exists per scorer, so reuse is safe.
 	balBuf []float64
+	// partIdx backs scoreView.partIdx: global partition id → allowed
+	// index, −1 outside the spread, padded to whole bitmap words. The
+	// allowed set never changes, so it is built once.
+	partIdx []int32
 }
 
 func newScorer(cache *vcache.Cache, parts []int, cfg config) *scorer {
+	partIdx := make([]int32, paddedParts(cache.K()))
+	for i := range partIdx {
+		partIdx[i] = -1
+	}
+	for i, p := range parts {
+		partIdx[p] = int32(i)
+	}
 	return &scorer{
 		cache:      cache,
 		parts:      parts,
@@ -177,6 +244,7 @@ func newScorer(cache *vcache.Cache, parts []int, cfg config) *scorer {
 		totalEdges: cfg.totalEdges,
 		prime:      newScoreScratch(cache.K(), len(parts)),
 		balBuf:     make([]float64, len(parts)),
+		partIdx:    partIdx,
 	}
 }
 
@@ -196,6 +264,7 @@ func (s *scorer) view() scoreView {
 		cache:      s.cache,
 		parts:      s.parts,
 		balance:    s.balBuf,
+		partIdx:    s.partIdx,
 		maxDeg:     float64(s.cache.MaxDegree()),
 		clustering: s.clustering,
 	}

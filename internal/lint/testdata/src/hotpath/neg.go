@@ -1,5 +1,7 @@
 package hotpathfix
 
+import "math/bits"
+
 // counters is a fixed-size stripe array, mirroring the metric package's
 // shape.
 type counters struct {
@@ -29,6 +31,24 @@ func Lookup(table []int64, key uint64) (int64, bool) {
 			return v, true
 		}
 		i = (i + 1) & uint64(len(table)-1)
+	}
+}
+
+// ScatterWords is a compliant word-scan kernel — the shape of the core
+// replica-scan scoring path: walk set bits with math/bits and scatter
+// through a preallocated index map into preallocated result slots. Index
+// arithmetic and stores only, no closures, no growth.
+//
+//adwise:zeroalloc
+func ScatterWords(scores []float64, partIdx []int32, words []uint64, addend float64) {
+	for wi, wd := range words {
+		base := wi << 6
+		for wd != 0 {
+			if idx := partIdx[base+bits.TrailingZeros64(wd)]; idx >= 0 {
+				scores[idx] += addend
+			}
+			wd &= wd - 1
+		}
 	}
 }
 

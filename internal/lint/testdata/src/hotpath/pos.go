@@ -2,7 +2,10 @@
 // the hotpath rule (//adwise:zeroalloc contract).
 package hotpathfix
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Format renders a label on every call.
 //
@@ -47,4 +50,35 @@ func sink(v any) {}
 //adwise:zeroalloc
 func BoxArg(v int64) {
 	sink(v) // want "concrete value passed as interface parameter boxes"
+}
+
+// CollectBits walks set bits correctly but accumulates hits into an
+// unsized buffer — growth inside a stamped scan kernel.
+//
+//adwise:zeroalloc
+func CollectBits(words []uint64) []int {
+	var hits []int
+	for wi, wd := range words {
+		base := wi << 6
+		for wd != 0 {
+			hits = append(hits, base+bits.TrailingZeros64(wd)) // want "append may grow the backing array"
+			wd &= wd - 1
+		}
+	}
+	return hits
+}
+
+// ForEachBit dispatches each set bit through a capturing closure — the
+// per-bit closure-call shape the word-scan kernels replace.
+//
+//adwise:zeroalloc
+func ForEachBit(words []uint64, total *int) {
+	visit := func(p int) { *total += p } // want "func literal captures total"
+	for wi, wd := range words {
+		base := wi << 6
+		for wd != 0 {
+			visit(base + bits.TrailingZeros64(wd))
+			wd &= wd - 1
+		}
+	}
 }

@@ -24,6 +24,10 @@ const (
 	// MetricRunLatency is the partitioning wall-clock per published pass,
 	// as a histogram timer.
 	MetricRunLatency = "runtime.partitioning.latency"
+	// MetricRunRefillPasses counts batched window refills;
+	// MetricRunBatchedAdds counts the edges those passes staged and scored.
+	MetricRunRefillPasses = "runtime.refill.passes"
+	MetricRunBatchedAdds  = "runtime.refill.batched_adds"
 )
 
 // PublishStats pushes one pass's Stats onto reg — the bridge from the
@@ -40,5 +44,7 @@ func PublishStats(reg *metric.Registry, st Stats) {
 	reg.Counter(MetricRunPoolPasses).Inc(st.ParallelScorePasses)
 	reg.Counter(MetricRunPoolScoreOps).Inc(st.PoolScoreOps)
 	reg.Counter(MetricRunStolenShards).Inc(st.StolenScoreShards)
+	reg.Counter(MetricRunRefillPasses).Inc(st.RefillPasses)
+	reg.Counter(MetricRunBatchedAdds).Inc(st.BatchedAdds)
 	reg.Timer(MetricRunLatency).Observe(st.PartitioningLatency)
 }

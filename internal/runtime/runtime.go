@@ -84,6 +84,11 @@ type Stats struct {
 	// rather than the instance's own goroutine — >0 means the instance
 	// actually borrowed cores (the work-stealing flex under spotlight).
 	StolenScoreShards int64
+	// RefillPasses counts batched window refills; BatchedAdds counts the
+	// edges those passes staged and scored (window strategies with batched
+	// refill only — zero elsewhere and under per-edge refill).
+	RefillPasses int64
+	BatchedAdds  int64
 }
 
 // AggregateStats folds per-instance spotlight stats into one run-level
@@ -101,6 +106,8 @@ func AggregateStats(stats []Stats) Stats {
 		agg.ParallelScorePasses += st.ParallelScorePasses
 		agg.PoolScoreOps += st.PoolScoreOps
 		agg.StolenScoreShards += st.StolenScoreShards
+		agg.RefillPasses += st.RefillPasses
+		agg.BatchedAdds += st.BatchedAdds
 		agg.ScoreWorkers += st.ScoreWorkers
 		if st.PartitioningLatency > agg.PartitioningLatency {
 			agg.PartitioningLatency = st.PartitioningLatency
@@ -187,6 +194,8 @@ func (a adwiseStrategy) Stats() Stats {
 		ParallelScorePasses: st.ParallelScorePasses,
 		PoolScoreOps:        poolOps,
 		StolenScoreShards:   st.StolenScoreShards,
+		RefillPasses:        st.RefillPasses,
+		BatchedAdds:         st.BatchedAdds,
 	}
 }
 

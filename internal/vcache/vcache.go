@@ -197,6 +197,22 @@ func (c *Cache) Lookup(v graph.VertexID) (degree int, replicas bitset.Set) {
 	return 0, bitset.Set{}
 }
 
+// LookupWords is the word-level form of Lookup for branch-light scan
+// kernels: it returns the partial degree and the raw replica bitmap words
+// of v, so callers can walk set bits with math/bits instead of probing
+// per-partition Contains or paying a closure call per bit (Set.ForEach).
+// The slice aliases the cache's arena — read-only, valid until the next
+// Assign. Unknown vertices return (0, nil); a nil word slice scans as the
+// empty set.
+//
+//adwise:zeroalloc
+func (c *Cache) LookupWords(v graph.VertexID) (degree int, words []uint64) {
+	if slot := c.find(v); slot >= 0 {
+		return int(c.degrees[slot]), c.words[slot*c.wpe : (slot+1)*c.wpe]
+	}
+	return 0, nil
+}
+
 // MaxDegree returns the largest partial degree observed so far, at least 1
 // so it can be used as a normaliser before any assignment.
 func (c *Cache) MaxDegree() int {

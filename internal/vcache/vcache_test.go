@@ -245,3 +245,41 @@ func TestGrowthPreservesState(t *testing.T) {
 		t.Errorf("partition sizes sum to %d, want %d", total, c.Assigned())
 	}
 }
+
+// TestLookupWordsMatchesLookup pins the word-level scan access against
+// the Set-view form: same degree, same set bits — including across table
+// growth — and (0, nil) for unknown vertices. The k values straddle the
+// one-word/multi-word bitmap boundary.
+func TestLookupWordsMatchesLookup(t *testing.T) {
+	for _, k := range []int{3, 64, 130} {
+		c := New(k)
+		for i := 0; i < 5_000; i++ {
+			e := graph.Edge{Src: graph.VertexID(i % 700), Dst: graph.VertexID((i * 37) % 700)}
+			c.Assign(e, (i*13)%k)
+		}
+		for v := graph.VertexID(0); v < 700; v++ {
+			deg, set := c.Lookup(v)
+			wDeg, words := c.LookupWords(v)
+			if wDeg != deg {
+				t.Fatalf("k=%d v=%d: LookupWords degree %d, Lookup %d", k, v, wDeg, deg)
+			}
+			for p := 0; p < k; p++ {
+				inWords := words[p>>6]&(1<<(uint(p)&63)) != 0
+				if inWords != set.Contains(p) {
+					t.Fatalf("k=%d v=%d p=%d: LookupWords bit %v, Replicas %v", k, v, p, inWords, set.Contains(p))
+				}
+			}
+			// Padding bits past k-1 must be clear: the scan kernel walks
+			// every set bit in the words, relying on partIdx only to drop
+			// out-of-spread partitions, never out-of-range ones.
+			for p := k; p < len(words)*64; p++ {
+				if words[p>>6]&(1<<(uint(p)&63)) != 0 {
+					t.Fatalf("k=%d v=%d: padding bit %d set", k, v, p)
+				}
+			}
+		}
+		if deg, words := c.LookupWords(graph.VertexID(1 << 30)); deg != 0 || words != nil {
+			t.Fatalf("k=%d: unknown vertex returned (%d, %v), want (0, nil)", k, deg, words)
+		}
+	}
+}
