@@ -40,6 +40,7 @@ import (
 	"github.com/adwise-go/adwise/internal/runtime"
 	"github.com/adwise-go/adwise/internal/serve"
 	"github.com/adwise-go/adwise/internal/stream"
+	"github.com/adwise-go/adwise/internal/vcache"
 )
 
 // Core graph types, re-exported from the internal graph substrate.
@@ -111,7 +112,21 @@ var (
 	WithPerEdgeRefill = core.WithPerEdgeRefill
 	// WithRefillBatch caps how many edges one batched refill pass stages.
 	WithRefillBatch = core.WithRefillBatch
+	// WithVertexBudget caps the byte footprint of the vertex state; when
+	// the table would outgrow the budget, low-partial-degree vertices are
+	// evicted HEP-style instead (0 = unbounded, the default).
+	WithVertexBudget = core.WithVertexBudget
 )
+
+// ParseByteSize parses a human-readable byte size ("64MiB", "1.5g",
+// "4096") into bytes: the format of the CLI vertex-budget flags. Suffixes
+// are case-insensitive and binary (K = 1024); the empty string parses as
+// 0 (no budget).
+func ParseByteSize(s string) (int64, error) { return vcache.ParseBytes(s) }
+
+// FormatByteSize renders a byte count human-readably with binary units
+// ("16.0MiB"), matching what ParseByteSize accepts.
+func FormatByteSize(n int64) string { return vcache.FormatBytes(n) }
 
 // NewADWISE returns an ADWISE partitioner for k partitions.
 func NewADWISE(k int, opts ...Option) (*Partitioner, error) {

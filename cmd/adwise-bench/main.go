@@ -41,6 +41,7 @@ func run(args []string, stdout io.Writer) error {
 		jsonOut  = fs.Bool("json", false, "emit results as JSON instead of aligned text tables")
 		profile  = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		workers  = fs.Int("score-workers", 0, "window-scoring shards per ADWISE instance on the shared work-stealing pool (0 = auto: GOMAXPROCS; pins the scoring-experiment sweep)")
+		budget   = fs.String("vcache-budget", "", "pin the memory experiment to one vertex-state byte budget, e.g. 64MiB (empty = sweep {inf, 1/2, 1/4, 1/8} of the unbounded peak)")
 		regress  = fs.String("regress-baseline", "", "benchmark trajectory file (e.g. BENCH_scoring.json): after a scoring run, fail if per-cell speedups regressed vs the last ci-baseline record")
 		regressT = fs.Float64("regress-tol", 0.20, "allowed fractional speedup loss before -regress-baseline fails the run")
 	)
@@ -66,6 +67,11 @@ func run(args []string, stdout io.Writer) error {
 	cfg.Z = *z
 	cfg.Spread = *spread
 	cfg.ScoreWorkers = *workers
+	if b, err := adwise.ParseByteSize(*budget); err != nil {
+		return fmt.Errorf("invalid -vcache-budget: %w", err)
+	} else {
+		cfg.VertexBudgetBytes = b
+	}
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}

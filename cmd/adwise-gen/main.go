@@ -6,6 +6,7 @@
 //	adwise-gen -preset brain -scale 0.5 -out brain.txt
 //	adwise-gen -model ba -n 100000 -m 8 -out ba.bin
 //	adwise-gen -model community -n 2000 -csize 20 -pin 0.9 -inter 5000 -out web.txt
+//	adwise-gen -model zipf -n 500000 -m 2000000 -zipf 1.3 -out skew.bin
 package main
 
 import (
@@ -28,13 +29,14 @@ func run(args []string) error {
 	var (
 		preset = fs.String("preset", "", "Table II stand-in: orkut, brain, web")
 		scale  = fs.Float64("scale", 1.0, "preset scale factor")
-		model  = fs.String("model", "", "generic model: er, ba, hk, ws, community, rmat")
-		n      = fs.Int("n", 10000, "vertices (er/ba/hk/ws) or communities (community) or scale exponent (rmat)")
-		m      = fs.Int("m", 4, "edges per vertex (ba/hk), neighbours per side (ws), total edges (er/rmat)")
+		model  = fs.String("model", "", "generic model: er, ba, hk, ws, community, rmat, zipf")
+		n      = fs.Int("n", 10000, "vertices (er/ba/hk/ws/zipf) or communities (community) or scale exponent (rmat)")
+		m      = fs.Int("m", 4, "edges per vertex (ba/hk), neighbours per side (ws), total edges (er/rmat/zipf)")
 		pt     = fs.Float64("pt", 0.5, "triad probability (hk) / rewiring beta (ws)")
 		csize  = fs.Int("csize", 20, "community size (community)")
 		pin    = fs.Float64("pin", 0.9, "intra-community edge probability (community)")
 		inter  = fs.Int("inter", 1000, "inter-community edges (community)")
+		zipf   = fs.Float64("zipf", 1.3, "degree-skew exponent s > 1 (zipf); larger = heavier hubs")
 		seed   = fs.Uint64("seed", 42, "generator seed")
 		out    = fs.String("out", "", "output path (.bin for binary, else text)")
 		stats  = fs.Bool("stats", true, "print Table II-style stats")
@@ -54,7 +56,7 @@ func run(args []string) error {
 	case *preset != "":
 		g, err = adwise.Generate(adwise.GraphPreset(*preset), *scale, *seed)
 	case *model != "":
-		g, err = generate(*model, *n, *m, *pt, *csize, *pin, *inter, *seed)
+		g, err = generate(*model, *n, *m, *pt, *zipf, *csize, *pin, *inter, *seed)
 	default:
 		return fmt.Errorf("need -preset or -model")
 	}
@@ -71,7 +73,7 @@ func run(args []string) error {
 	return nil
 }
 
-func generate(model string, n, m int, pt float64, csize int, pin float64, inter int, seed uint64) (*adwise.Graph, error) {
+func generate(model string, n, m int, pt, zipf float64, csize int, pin float64, inter int, seed uint64) (*adwise.Graph, error) {
 	switch model {
 	case "er":
 		return adwise.ErdosRenyi(n, m, seed)
@@ -85,7 +87,9 @@ func generate(model string, n, m int, pt float64, csize int, pin float64, inter 
 		return adwise.Community(n, csize, pin, inter, seed)
 	case "rmat":
 		return adwise.RMAT(n, m, 0.57, 0.19, 0.19, seed)
+	case "zipf":
+		return adwise.Zipf(n, m, zipf, seed)
 	default:
-		return nil, fmt.Errorf("unknown model %q (have er, ba, hk, ws, community, rmat)", model)
+		return nil, fmt.Errorf("unknown model %q (have er, ba, hk, ws, community, rmat, zipf)", model)
 	}
 }

@@ -52,6 +52,9 @@ var (
 	Community = gen.Community
 	// RMAT generates a recursive-matrix (Graph500-style) graph.
 	RMAT = gen.RMAT
+	// Zipf generates edges with Zipf-distributed endpoints — a direct
+	// degree-skew knob for memory-pressure workloads.
+	Zipf = gen.Zipf
 	// Star, Path, Cycle, Clique, Grid2D generate structured test graphs.
 	Star   = gen.Star
 	Path   = gen.Path

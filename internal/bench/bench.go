@@ -61,6 +61,12 @@ type Config struct {
 	// pins one — the -cpuprofile + -score-workers combination that
 	// validates where the scoring loop saturates.
 	ScoreWorkers int
+	// VertexBudgetBytes pins the memory experiment to a single explicit
+	// vertex-state budget instead of its default {∞, ½, ¼, ⅛ of unbounded
+	// peak} sweep (0 = sweep). Other experiments run unbounded regardless —
+	// eviction changes assignments, and their tables reproduce the paper's
+	// unbounded setting.
+	VertexBudgetBytes int64
 	// Progress, when non-nil, receives one line per completed step.
 	Progress io.Writer
 	// Clock substitutes the wall-time source behind every measured

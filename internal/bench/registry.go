@@ -40,6 +40,7 @@ func Experiments() []Experiment {
 		{"ingest", "§III-D loading", Ingest},
 		{"scoring", "§III-B scoring", Scoring},
 		{"serve", "§II serving", Serve},
+		{"memory", "HEP memory envelope", Memory},
 	}
 }
 

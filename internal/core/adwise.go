@@ -51,6 +51,7 @@ type config struct {
 	scoreWorkers  int   // window-scoring logical shards; 0 = auto (GOMAXPROCS)
 	perEdgeRefill bool  // serial one-edge-at-a-time refill (reference/ablation)
 	refillBatch   int   // refill staging cap; 0 = DefaultRefillBatch
+	vertexBudget  int64 // vertex-state byte budget; 0 = unbounded cache
 	pool          *scorepool.Pool
 	poolSet       bool             // WithScorePool was used (nil is a meaningful value)
 	metrics       *metric.Registry // nil → no telemetry published
@@ -176,6 +177,19 @@ func WithRefillBatch(n int) Option {
 	return func(c *config) { c.refillBatch = n }
 }
 
+// WithVertexBudget caps the byte footprint of the vertex state. The
+// default (0, or negative) keeps the unbounded cache, whose memory grows
+// with the number of distinct vertices. A positive budget swaps in the
+// bounded cache (vcache.Bounded): when the table would outgrow the budget
+// it evicts low-partial-degree vertices HEP-style instead of growing, so
+// memory stays fixed while scoring treats evicted vertices as unseen —
+// replication quality degrades gracefully on power-law graphs (see the
+// bench memory experiment). Eviction makes assignments depend on the
+// budget; runs with the same positive budget remain deterministic.
+func WithVertexBudget(bytes int64) Option {
+	return func(c *config) { c.vertexBudget = bytes }
+}
+
 // WithScorePool overrides the pool scoring shards execute on. The default
 // (when more than one shard is configured) is the process-wide shared
 // work-stealing pool, scorepool.Shared(). Passing nil forces every pass
@@ -194,7 +208,7 @@ func WithScorePool(p *scorepool.Pool) Option {
 type Adwise struct {
 	cfg    config
 	parts  []int
-	cache  *vcache.Cache
+	cache  vcache.VertexState
 	scorer *scorer
 	win    *window
 	stats  RunStats
@@ -247,6 +261,12 @@ type RunStats struct {
 	// refill passes; under the default refill this equals Assignments on a
 	// clean run, and zero under WithPerEdgeRefill.
 	BatchedAdds int64
+	// EvictedVertices counts vertex-state evictions under WithVertexBudget
+	// (0 on the unbounded default).
+	EvictedVertices int64
+	// CacheBytes and PeakCacheBytes are the final and peak tracked byte
+	// footprints of the vertex state.
+	CacheBytes, PeakCacheBytes int64
 }
 
 // WindowChange is one adaptive window resize event.
@@ -310,7 +330,7 @@ func New(k int, opts ...Option) (*Adwise, error) {
 			parts[i] = i
 		}
 	}
-	cache := vcache.New(k)
+	cache := vcache.Build(vcache.Options{K: k, BudgetBytes: cfg.vertexBudget})
 	sc := newScorer(cache, parts, cfg)
 	maxCand := cfg.maxCandidates
 	if !cfg.lazy {
@@ -339,8 +359,8 @@ func New(k int, opts ...Option) (*Adwise, error) {
 	}, nil
 }
 
-// Cache exposes the vertex cache (for metrics and tests).
-func (a *Adwise) Cache() *vcache.Cache { return a.cache }
+// Cache exposes the vertex state (for metrics and tests).
+func (a *Adwise) Cache() vcache.VertexState { return a.cache }
 
 // Stats returns the statistics of the completed Run.
 func (a *Adwise) Stats() RunStats { return a.stats }
@@ -381,6 +401,11 @@ func (a *Adwise) Run(s stream.Stream) (*metrics.Assignment, error) {
 		}
 	}
 	totalEdges := a.scorer.totalEdges
+
+	// Pre-size the vertex table from the same edge-count hint that sizes
+	// the assignment, so known-length streams skip the doubling rehashes
+	// (a bounded cache clamps the reservation to its budget).
+	a.cache.Reserve(vcache.VerticesHintForEdges(hint))
 
 	asn := metrics.NewAssignment(a.cfg.k, int(hint))
 
@@ -543,6 +568,9 @@ func (a *Adwise) Run(s stream.Stream) (*metrics.Assignment, error) {
 	a.stats.Demotions = a.win.demotions
 	a.stats.Reassessments = a.win.reassessments
 	a.stats.SecondaryRescans = a.win.rescans
+	a.stats.EvictedVertices = a.cache.EvictedVertices()
+	a.stats.CacheBytes = a.cache.Bytes()
+	a.stats.PeakCacheBytes = a.cache.PeakBytes()
 	a.publishRunMetrics()
 	return asn, nil
 }

@@ -30,6 +30,15 @@ const (
 	// batch size — together with the passes/adds counters it shows whether
 	// refills run at the staging cap or dribble (live, per pass).
 	MetricRefillBatchSize = "core.refill.batch_size"
+	// MetricVcacheEvicted counts vertex-state evictions under a vertex
+	// budget (end of Run; 0 on the unbounded default).
+	MetricVcacheEvicted = "core.vcache.evicted"
+	// MetricVcacheBytes is a gauge holding the final tracked byte
+	// footprint of the vertex state (end of Run).
+	MetricVcacheBytes = "core.vcache.bytes"
+	// MetricVcachePeakBytes is a gauge holding the peak tracked byte
+	// footprint of the vertex state (end of Run).
+	MetricVcachePeakBytes = "core.vcache.peak_bytes"
 )
 
 // WithMetrics attaches a telemetry registry: pool pass/steal counters
@@ -53,4 +62,7 @@ func (a *Adwise) publishRunMetrics() {
 	reg.Counter(MetricAssignments).Inc(a.stats.Assignments)
 	reg.Counter(MetricScoreOps).Inc(a.stats.ScoreComputations)
 	reg.Timer(MetricRunLatency).Observe(a.stats.PartitioningLatency)
+	reg.Counter(MetricVcacheEvicted).Inc(a.stats.EvictedVertices)
+	reg.Gauge(MetricVcacheBytes).Set(a.stats.CacheBytes)
+	reg.Gauge(MetricVcachePeakBytes).Set(a.stats.PeakCacheBytes)
 }

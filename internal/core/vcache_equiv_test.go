@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/adwise-go/adwise/internal/gen"
+	"github.com/adwise-go/adwise/internal/metrics"
+	"github.com/adwise-go/adwise/internal/stream"
+	"github.com/adwise-go/adwise/internal/vcache"
+)
+
+// TestBoundedUnlimitedEquivalence is the vertex-state substitution
+// contract: with an effectively infinite budget the tombstone-aware
+// Bounded cache never evicts, so swapping it in for the unbounded Cache
+// must leave every assignment untouched — same edges, same order, same
+// partitions — across traversal mode (lazy/eager), score-worker count
+// {1, 2, 8}, and refill path (batched/per-edge). Run under -race in CI
+// this also drives the Bounded probe sequence through the sharded
+// scoring pool.
+func TestBoundedUnlimitedEquivalence(t *testing.T) {
+	all := equivalenceGraph(t)[:30_000]
+	compare := func(t *testing.T, ref, got *metrics.Assignment) {
+		t.Helper()
+		if got.Len() != ref.Len() {
+			t.Fatalf("bounded run assigned %d edges, cache reference %d", got.Len(), ref.Len())
+		}
+		for i := range ref.Edges {
+			if ref.Edges[i] != got.Edges[i] || ref.Parts[i] != got.Parts[i] {
+				t.Fatalf("diverged at assignment %d: cache %v→%d, bounded %v→%d",
+					i, ref.Edges[i], ref.Parts[i], got.Edges[i], got.Parts[i])
+			}
+		}
+	}
+
+	for _, mode := range []struct {
+		name  string
+		edges int
+		opts  []Option
+	}{
+		{"lazy/batched", len(all), nil},
+		{"lazy/per-edge", len(all), []Option{WithPerEdgeRefill()}},
+		// Eager rescoring is quadratic in the window per pop; a shorter
+		// prefix keeps the sweep affordable under -race.
+		{"eager/batched", 8_000, []Option{WithEagerTraversal()}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			edges := all[:mode.edges]
+			run := func(opts ...Option) *metrics.Assignment {
+				t.Helper()
+				ad, err := New(8, append([]Option{
+					WithInitialWindow(256),
+					WithFixedWindow(),
+					WithMaxCandidates(256),
+				}, opts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, err := ad.Run(stream.FromEdges(edges))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return a
+			}
+			ref := run(mode.opts...)
+			workerSweep := []int{1, 2, 8}
+			for _, workers := range workerSweep {
+				opts := append([]Option{
+					WithVertexBudget(math.MaxInt64),
+					WithScoreWorkers(workers),
+				}, mode.opts...)
+				ad, err := New(8, append([]Option{
+					WithInitialWindow(256),
+					WithFixedWindow(),
+					WithMaxCandidates(256),
+				}, opts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, ok := ad.Cache().(*vcache.Bounded); !ok {
+					t.Fatalf("WithVertexBudget did not select the Bounded cache (got %T)", ad.Cache())
+				}
+				a, err := ad.Run(stream.FromEdges(edges))
+				if err != nil {
+					t.Fatal(err)
+				}
+				compare(t, ref, a)
+				st := ad.Stats()
+				if st.EvictedVertices != 0 {
+					t.Fatalf("workers=%d: unlimited budget evicted %d vertices", workers, st.EvictedVertices)
+				}
+				if st.PeakCacheBytes == 0 || st.CacheBytes == 0 {
+					t.Fatalf("workers=%d: cache byte stats not reported (bytes=%d peak=%d)",
+						workers, st.CacheBytes, st.PeakCacheBytes)
+				}
+			}
+		})
+	}
+}
+
+// TestBoundedEighthBudgetDegradation pins the graceful-degradation
+// envelope: at one eighth of the unbounded peak footprint the run must
+// still assign every edge, must actually evict, must stay within its
+// effective budget, and must keep the replication factor within 2x of
+// the unbounded reference on a skewed RMAT stream. The 2x bound is
+// deliberately loose — it guards against pathological quality collapse
+// (e.g. eviction thrashing that forgets every hub), not against the
+// expected few-percent drift the memory experiment tracks.
+func TestBoundedEighthBudgetDegradation(t *testing.T) {
+	g, err := gen.RMAT(15, 60_000, 0.57, 0.19, 0.19, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(budget int64) (*metrics.Assignment, RunStats) {
+		t.Helper()
+		opts := []Option{
+			WithInitialWindow(256),
+			WithFixedWindow(),
+			WithMaxCandidates(256),
+		}
+		if budget > 0 {
+			opts = append(opts, WithVertexBudget(budget))
+		}
+		ad, err := New(8, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ad.Run(stream.FromEdges(g.Edges))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, ad.Stats()
+	}
+
+	refA, refStats := run(0)
+	refRF := metrics.Summarize(refA).ReplicationDegree
+	if refStats.PeakCacheBytes == 0 {
+		t.Fatal("unbounded run reported zero peak cache bytes")
+	}
+
+	budget := refStats.PeakCacheBytes / 8
+	a, st := run(budget)
+	if a.Len() != refA.Len() {
+		t.Fatalf("bounded run assigned %d edges, unbounded %d", a.Len(), refA.Len())
+	}
+	effective := vcache.NewBounded(8, budget).Budget()
+	if st.PeakCacheBytes > effective {
+		t.Fatalf("peak %d exceeds effective budget %d", st.PeakCacheBytes, effective)
+	}
+	if effective < refStats.PeakCacheBytes && st.EvictedVertices == 0 {
+		t.Fatalf("effective budget %d below unbounded peak %d but nothing was evicted",
+			effective, refStats.PeakCacheBytes)
+	}
+	rf := metrics.Summarize(a).ReplicationDegree
+	if rf > 2*refRF {
+		t.Fatalf("replication factor %.4f at 1/8 budget exceeds 2x the unbounded %.4f", rf, refRF)
+	}
+	t.Logf("unbounded rf=%.4f peak=%d; 1/8 budget rf=%.4f (%.3fx) peak=%d evicted=%d",
+		refRF, refStats.PeakCacheBytes, rf, rf/refRF, st.PeakCacheBytes, st.EvictedVertices)
+}

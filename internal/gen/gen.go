@@ -234,6 +234,38 @@ func Community(c, s int, pin float64, interEdges int, seed uint64) (*graph.Graph
 	return &graph.Graph{NumV: n, Edges: edges}, nil
 }
 
+// Zipf generates m edges over n vertices with both endpoints drawn from a
+// Zipf distribution with the given exponent (s > 1), avoiding self-loops.
+// Vertex 0 is the heaviest rank, so low vertex ids are hubs. Unlike the
+// attachment models the degree skew is a direct knob: raising the exponent
+// concentrates the edge mass on fewer hubs and lengthens the degree-1
+// tail — the regime where a bounded vertex cache sheds the most state for
+// the least replication cost (the memory-pressure workloads of the bench
+// memory experiment).
+func Zipf(n, m int, exponent float64, seed uint64) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: Zipf needs n >= 2, got %d", n)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("gen: Zipf needs m >= 1, got %d", m)
+	}
+	if exponent <= 1 {
+		return nil, fmt.Errorf("gen: Zipf exponent must be > 1, got %v", exponent)
+	}
+	rng := newRNG(seed)
+	z := rand.NewZipf(rng, exponent, 1, uint64(n-1))
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u := graph.VertexID(z.Uint64())
+		v := graph.VertexID(z.Uint64())
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{Src: u, Dst: v})
+	}
+	return &graph.Graph{NumV: n, Edges: edges}, nil
+}
+
 // RMAT generates a recursive-matrix (Kronecker-like) graph with 2^scale
 // vertices and m edges using partition probabilities a, b, c (d = 1-a-b-c).
 // The standard Graph500 parameters a=0.57, b=0.19, c=0.19 give a skewed,

@@ -52,6 +52,45 @@ func ScatterWords(scores []float64, partIdx []int32, words []uint64, addend floa
 	}
 }
 
+// ProbeTombstones is a compliant tombstone-aware lookup — the bounded
+// vertex-state probe shape: skip dead slots (degree < 0), stop at the
+// first empty slot, and report a miss as the zero value with a nil word
+// slice. Misses allocate nothing; "unseen" is a return value, not an
+// event.
+//
+//adwise:zeroalloc
+func ProbeTombstones(keys []uint64, degrees []int32, words []uint64, wpe int, key uint64) (int32, []uint64) {
+	mask := uint64(len(keys) - 1)
+	for i := key & mask; ; i = (i + 1) & mask {
+		d := degrees[i]
+		if d == 0 {
+			return 0, nil
+		}
+		if d > 0 && keys[i] == key {
+			s := int(i) * wpe
+			return d, words[s : s+wpe]
+		}
+	}
+}
+
+// ScatterMiss is a compliant miss-tolerant scatter: ranging over the nil
+// word slice a miss returns simply runs zero iterations, so the kernel
+// needs no branch and no allocation on the miss path.
+//
+//adwise:zeroalloc
+func ScatterMiss(scores []float64, partIdx []int32, keys []uint64, degrees []int32, words []uint64, wpe int, key uint64, addend float64) {
+	_, ws := ProbeTombstones(keys, degrees, words, wpe, key)
+	for wi, wd := range ws {
+		base := wi << 6
+		for wd != 0 {
+			if idx := partIdx[base+bits.TrailingZeros64(wd)]; idx >= 0 {
+				scores[idx] += addend
+			}
+			wd &= wd - 1
+		}
+	}
+}
+
 // Unstamped is ordinary code: the rule only applies to stamped
 // functions.
 func Unstamped() []int {

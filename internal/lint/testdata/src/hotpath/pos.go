@@ -82,3 +82,36 @@ func ForEachBit(words []uint64, total *int) {
 		}
 	}
 }
+
+// ProbeLogsMisses is a tombstone-aware probe whose miss path appends the
+// missing key to a log — the exact anti-pattern the bounded vertex state
+// must avoid: a miss is the common case under eviction, so the miss path
+// is as hot as a hit.
+//
+//adwise:zeroalloc
+func ProbeLogsMisses(keys []uint64, degrees []int32, key uint64, missed []uint64) ([]uint64, int32) {
+	mask := uint64(len(keys) - 1)
+	for i := key & mask; ; i = (i + 1) & mask {
+		d := degrees[i]
+		if d == 0 {
+			missed = append(missed, key) // want "append may grow the backing array"
+			return missed, 0
+		}
+		if d > 0 && keys[i] == key {
+			return missed, d
+		}
+	}
+}
+
+// EvictReports boxes each evicted key into an interface sink — eviction
+// sweeps run under memory pressure, the worst time to allocate.
+//
+//adwise:zeroalloc
+func EvictReports(degrees []int32, keys []uint64, threshold int32) {
+	for i, d := range degrees {
+		if d > 0 && d <= threshold {
+			degrees[i] = -1
+			sink(keys[i]) // want "concrete value passed as interface parameter boxes"
+		}
+	}
+}

@@ -17,7 +17,7 @@ import (
 type DBH struct {
 	cfg   Config
 	parts []int
-	cache *vcache.Cache
+	cache vcache.VertexState
 }
 
 // NewDBH returns a DBH partitioner.
@@ -25,14 +25,14 @@ func NewDBH(cfg Config) (*DBH, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &DBH{cfg: cfg, parts: cfg.allowed(), cache: vcache.New(cfg.K)}, nil
+	return &DBH{cfg: cfg, parts: cfg.allowed(), cache: cfg.newCache()}, nil
 }
 
 // Name implements Partitioner.
 func (d *DBH) Name() string { return "dbh" }
 
 // Cache implements Partitioner.
-func (d *DBH) Cache() *vcache.Cache { return d.cache }
+func (d *DBH) Cache() vcache.VertexState { return d.cache }
 
 // Assign implements Partitioner.
 func (d *DBH) Assign(e graph.Edge) int {

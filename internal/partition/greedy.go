@@ -17,7 +17,7 @@ import (
 type Greedy struct {
 	cfg   Config
 	parts []int
-	cache *vcache.Cache
+	cache vcache.VertexState
 	// scratch buffer reused across assignments to avoid per-edge allocs
 	cand []int
 }
@@ -30,7 +30,7 @@ func NewGreedy(cfg Config) (*Greedy, error) {
 	return &Greedy{
 		cfg:   cfg,
 		parts: cfg.allowed(),
-		cache: vcache.New(cfg.K),
+		cache: cfg.newCache(),
 		cand:  make([]int, 0, cfg.K),
 	}, nil
 }
@@ -39,7 +39,7 @@ func NewGreedy(cfg Config) (*Greedy, error) {
 func (g *Greedy) Name() string { return "greedy" }
 
 // Cache implements Partitioner.
-func (g *Greedy) Cache() *vcache.Cache { return g.cache }
+func (g *Greedy) Cache() vcache.VertexState { return g.cache }
 
 // Assign implements Partitioner.
 func (g *Greedy) Assign(e graph.Edge) int {

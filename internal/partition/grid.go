@@ -14,7 +14,7 @@ import (
 type Grid struct {
 	cfg   Config
 	parts []int
-	cache *vcache.Cache
+	cache vcache.VertexState
 	r, c  int
 	cand  []int
 }
@@ -29,7 +29,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 	return &Grid{
 		cfg:   cfg,
 		parts: parts,
-		cache: vcache.New(cfg.K),
+		cache: cfg.newCache(),
 		r:     r,
 		c:     c,
 		cand:  make([]int, 0, r+c),
@@ -40,7 +40,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 func (g *Grid) Name() string { return "grid" }
 
 // Cache implements Partitioner.
-func (g *Grid) Cache() *vcache.Cache { return g.cache }
+func (g *Grid) Cache() vcache.VertexState { return g.cache }
 
 // cell returns the grid cell (row, col) vertex v hashes to.
 func (g *Grid) cell(v graph.VertexID) (row, col int) {

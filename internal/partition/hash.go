@@ -13,7 +13,7 @@ import (
 type Hash struct {
 	cfg   Config
 	parts []int
-	cache *vcache.Cache
+	cache vcache.VertexState
 }
 
 // NewHash returns a Hash partitioner.
@@ -21,14 +21,14 @@ func NewHash(cfg Config) (*Hash, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Hash{cfg: cfg, parts: cfg.allowed(), cache: vcache.New(cfg.K)}, nil
+	return &Hash{cfg: cfg, parts: cfg.allowed(), cache: cfg.newCache()}, nil
 }
 
 // Name implements Partitioner.
 func (h *Hash) Name() string { return "hash" }
 
 // Cache implements Partitioner.
-func (h *Hash) Cache() *vcache.Cache { return h.cache }
+func (h *Hash) Cache() vcache.VertexState { return h.cache }
 
 // Assign implements Partitioner.
 func (h *Hash) Assign(e graph.Edge) int {
@@ -44,7 +44,7 @@ func (h *Hash) Assign(e graph.Edge) int {
 type OneDim struct {
 	cfg   Config
 	parts []int
-	cache *vcache.Cache
+	cache vcache.VertexState
 }
 
 // NewOneDim returns a 1D partitioner.
@@ -52,14 +52,14 @@ func NewOneDim(cfg Config) (*OneDim, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &OneDim{cfg: cfg, parts: cfg.allowed(), cache: vcache.New(cfg.K)}, nil
+	return &OneDim{cfg: cfg, parts: cfg.allowed(), cache: cfg.newCache()}, nil
 }
 
 // Name implements Partitioner.
 func (o *OneDim) Name() string { return "1d" }
 
 // Cache implements Partitioner.
-func (o *OneDim) Cache() *vcache.Cache { return o.cache }
+func (o *OneDim) Cache() vcache.VertexState { return o.cache }
 
 // Assign implements Partitioner.
 func (o *OneDim) Assign(e graph.Edge) int {
@@ -75,7 +75,7 @@ func (o *OneDim) Assign(e graph.Edge) int {
 type TwoDim struct {
 	cfg    Config
 	parts  []int
-	cache  *vcache.Cache
+	cache  vcache.VertexState
 	r, c   int
 	seedRe uint64
 }
@@ -90,7 +90,7 @@ func NewTwoDim(cfg Config) (*TwoDim, error) {
 	return &TwoDim{
 		cfg:    cfg,
 		parts:  parts,
-		cache:  vcache.New(cfg.K),
+		cache:  cfg.newCache(),
 		r:      r,
 		c:      c,
 		seedRe: hashx.SplitMix64(cfg.Seed + 1),
@@ -112,7 +112,7 @@ func gridShape(n int) (r, c int) {
 func (t *TwoDim) Name() string { return "2d" }
 
 // Cache implements Partitioner.
-func (t *TwoDim) Cache() *vcache.Cache { return t.cache }
+func (t *TwoDim) Cache() vcache.VertexState { return t.cache }
 
 // Assign implements Partitioner.
 func (t *TwoDim) Assign(e graph.Edge) int {

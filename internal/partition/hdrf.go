@@ -31,7 +31,7 @@ type HDRF struct {
 	cfg    Config
 	lambda float64
 	parts  []int
-	cache  *vcache.Cache
+	cache  vcache.VertexState
 }
 
 // NewHDRF returns an HDRF partitioner with balancing weight lambda
@@ -43,14 +43,14 @@ func NewHDRF(cfg Config, lambda float64) (*HDRF, error) {
 	if lambda < 0 {
 		return nil, fmt.Errorf("partition: HDRF lambda must be >= 0, got %v", lambda)
 	}
-	return &HDRF{cfg: cfg, lambda: lambda, parts: cfg.allowed(), cache: vcache.New(cfg.K)}, nil
+	return &HDRF{cfg: cfg, lambda: lambda, parts: cfg.allowed(), cache: cfg.newCache()}, nil
 }
 
 // Name implements Partitioner.
 func (h *HDRF) Name() string { return "hdrf" }
 
 // Cache implements Partitioner.
-func (h *HDRF) Cache() *vcache.Cache { return h.cache }
+func (h *HDRF) Cache() vcache.VertexState { return h.cache }
 
 // Lambda returns the configured balancing weight.
 func (h *HDRF) Lambda() float64 { return h.lambda }

@@ -27,8 +27,8 @@ type Partitioner interface {
 	// Assign chooses a partition for e and records the assignment in the
 	// vertex cache. The returned partition is in [0, K).
 	Assign(e graph.Edge) int
-	// Cache exposes the partitioner's vertex cache.
-	Cache() *vcache.Cache
+	// Cache exposes the partitioner's vertex state.
+	Cache() vcache.VertexState
 }
 
 // Config carries the settings shared by all streaming partitioners.
@@ -41,6 +41,10 @@ type Config struct {
 	Allowed []int
 	// Seed drives the hash functions of the hashing strategies.
 	Seed uint64
+	// VertexBudgetBytes caps the byte footprint of the vertex state. 0
+	// (the default) keeps the unbounded cache; a positive budget swaps in
+	// the bounded, evicting cache (see vcache.Bounded).
+	VertexBudgetBytes int64
 }
 
 func (c Config) validate() error {
@@ -53,6 +57,13 @@ func (c Config) validate() error {
 		}
 	}
 	return nil
+}
+
+// newCache builds the vertex state the config describes — the single
+// construction path every strategy shares, so the budget knob applies
+// uniformly.
+func (c Config) newCache() vcache.VertexState {
+	return vcache.Build(vcache.Options{K: c.K, BudgetBytes: c.VertexBudgetBytes})
 }
 
 // allowed returns the effective allowed-partition list.
@@ -76,7 +87,12 @@ func (c Config) allowed() []int {
 // assignment.
 func Run(s stream.Stream, p Partitioner) (*metrics.Assignment, error) {
 	hint := s.Remaining()
-	if hint < 0 {
+	if hint >= 0 {
+		// Known-length stream: pre-size the vertex table too, so the pass
+		// skips the doubling rehashes (a bounded state clamps this to its
+		// budget).
+		p.Cache().Reserve(vcache.VerticesHintForEdges(hint))
+	} else {
 		hint = 1024
 	}
 	a := metrics.NewAssignment(p.Cache().K(), int(hint))
@@ -105,7 +121,7 @@ func hashEdge(seed uint64, e graph.Edge) uint64 {
 
 // leastLoaded returns the partition with the smallest size among parts,
 // breaking ties by lower partition id. parts must be non-empty.
-func leastLoaded(c *vcache.Cache, parts []int) int {
+func leastLoaded(c vcache.VertexState, parts []int) int {
 	best := parts[0]
 	bestSize := c.Size(best)
 	for _, p := range parts[1:] {

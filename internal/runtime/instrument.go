@@ -28,6 +28,13 @@ const (
 	// MetricRunBatchedAdds counts the edges those passes staged and scored.
 	MetricRunRefillPasses = "runtime.refill.passes"
 	MetricRunBatchedAdds  = "runtime.refill.batched_adds"
+	// MetricRunVcacheEvicted counts vertex-state evictions under a vertex
+	// budget; the byte gauges carry the final and peak tracked footprints
+	// of the published pass (summed across instances when publishing an
+	// AggregateStats fold).
+	MetricRunVcacheEvicted   = "runtime.vcache.evicted"
+	MetricRunVcacheBytes     = "runtime.vcache.bytes"
+	MetricRunVcachePeakBytes = "runtime.vcache.peak_bytes"
 )
 
 // PublishStats pushes one pass's Stats onto reg — the bridge from the
@@ -46,5 +53,8 @@ func PublishStats(reg *metric.Registry, st Stats) {
 	reg.Counter(MetricRunStolenShards).Inc(st.StolenScoreShards)
 	reg.Counter(MetricRunRefillPasses).Inc(st.RefillPasses)
 	reg.Counter(MetricRunBatchedAdds).Inc(st.BatchedAdds)
+	reg.Counter(MetricRunVcacheEvicted).Inc(st.EvictedVertices)
+	reg.Gauge(MetricRunVcacheBytes).Set(st.CacheBytes)
+	reg.Gauge(MetricRunVcachePeakBytes).Set(st.PeakCacheBytes)
 	reg.Timer(MetricRunLatency).Observe(st.PartitioningLatency)
 }

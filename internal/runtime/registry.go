@@ -44,6 +44,11 @@ type Spec struct {
 	// across the z instances with remainder spread (splitScoreWorkers).
 	// Any value yields identical assignments.
 	ScoreWorkers int
+	// VertexBudgetBytes caps the byte footprint of the instance's vertex
+	// state; 0 keeps the unbounded cache. Under the spotlight conveniences
+	// a run-level budget is divided across the z instances
+	// (splitVertexBudget), since all z caches coexist for the run.
+	VertexBudgetBytes int64
 	// Options are extra ADWISE options applied after the Spec-derived
 	// ones (clustering toggles, clock substitution, ...).
 	Options []core.Option
@@ -58,7 +63,7 @@ type Spec struct {
 
 // partitionConfig projects the Spec onto the single-edge framework config.
 func (s Spec) partitionConfig() partition.Config {
-	return partition.Config{K: s.K, Allowed: s.Allowed, Seed: s.Seed}
+	return partition.Config{K: s.K, Allowed: s.Allowed, Seed: s.Seed, VertexBudgetBytes: s.VertexBudgetBytes}
 }
 
 // Builder constructs a strategy instance from a Spec.
@@ -257,6 +262,9 @@ func init() {
 		}
 		if s.ScoreWorkers > 0 {
 			opts = append(opts, core.WithScoreWorkers(s.ScoreWorkers))
+		}
+		if s.VertexBudgetBytes > 0 {
+			opts = append(opts, core.WithVertexBudget(s.VertexBudgetBytes))
 		}
 		if s.Metrics != nil {
 			opts = append(opts, core.WithMetrics(s.Metrics))

@@ -89,6 +89,12 @@ type Stats struct {
 	// refill only — zero elsewhere and under per-edge refill).
 	RefillPasses int64
 	BatchedAdds  int64
+	// EvictedVertices counts vertex-state evictions under a vertex budget
+	// (0 on the unbounded default).
+	EvictedVertices int64
+	// CacheBytes and PeakCacheBytes are the final and peak tracked byte
+	// footprints of the vertex state.
+	CacheBytes, PeakCacheBytes int64
 }
 
 // AggregateStats folds per-instance spotlight stats into one run-level
@@ -109,6 +115,11 @@ func AggregateStats(stats []Stats) Stats {
 		agg.RefillPasses += st.RefillPasses
 		agg.BatchedAdds += st.BatchedAdds
 		agg.ScoreWorkers += st.ScoreWorkers
+		// Byte footprints sum: the z caches coexist for the run, so the
+		// run-level envelope is their total.
+		agg.EvictedVertices += st.EvictedVertices
+		agg.CacheBytes += st.CacheBytes
+		agg.PeakCacheBytes += st.PeakCacheBytes
 		if st.PartitioningLatency > agg.PartitioningLatency {
 			agg.PartitioningLatency = st.PartitioningLatency
 		}
@@ -160,6 +171,9 @@ func (ps *partitionerStrategy) Run(s stream.Stream) (*metrics.Assignment, error)
 		Assignments:         c.Assigned(),
 		Vertices:            c.Vertices(),
 		PartitioningLatency: ps.clk.Now().Sub(start),
+		EvictedVertices:     c.EvictedVertices(),
+		CacheBytes:          c.Bytes(),
+		PeakCacheBytes:      c.PeakBytes(),
 	}
 	return a, nil
 }
@@ -196,6 +210,9 @@ func (a adwiseStrategy) Stats() Stats {
 		StolenScoreShards:   st.StolenScoreShards,
 		RefillPasses:        st.RefillPasses,
 		BatchedAdds:         st.BatchedAdds,
+		EvictedVertices:     st.EvictedVertices,
+		CacheBytes:          st.CacheBytes,
+		PeakCacheBytes:      st.PeakCacheBytes,
 	}
 }
 

@@ -206,6 +206,31 @@ func splitScoreWorkers(total, z int, sequential bool) []int {
 	return shares
 }
 
+// splitVertexBudget divides a run-level vertex-state byte budget across
+// the z instances with remainder spread, like splitScoreWorkers. Unlike
+// score workers there is no sequential exception: all z caches coexist
+// for the whole run (each instance keeps its state until the merge), so
+// the run-level envelope is their sum regardless of execution order.
+// total 0 (unbounded) leaves every instance unbounded.
+func splitVertexBudget(total int64, z int) []int64 {
+	shares := make([]int64, max(z, 1))
+	if total <= 0 {
+		return shares // all unbounded
+	}
+	n := int64(len(shares))
+	base, rem := total/n, total%n
+	for i := range shares {
+		shares[i] = base
+		if int64(i) < rem {
+			shares[i]++
+		}
+		if shares[i] < 1 {
+			shares[i] = 1
+		}
+	}
+	return shares
+}
+
 // RunStrategySpotlight is the registry-driven convenience: it partitions
 // edges with Z instances of the named strategy, each restricted to its
 // spread, with the per-instance seed offset, chunk-size hint, and
@@ -228,6 +253,7 @@ func RunStrategySpotlightStats(name string, edges []graph.Edge, cfg SpotlightCon
 		spec.K = cfg.K
 	}
 	shares := splitScoreWorkers(spec.ScoreWorkers, cfg.Z, cfg.Sequential)
+	budgets := splitVertexBudget(spec.VertexBudgetBytes, cfg.Z)
 	chunkEdges := int64(len(edges)/max(cfg.Z, 1) + 1)
 	chunks := stream.Chunks(edges, cfg.Z)
 	streams := make([]stream.Stream, len(chunks))
@@ -239,6 +265,7 @@ func RunStrategySpotlightStats(name string, edges []graph.Edge, cfg SpotlightCon
 		s.Allowed = allowed
 		s.Seed = spec.Seed + uint64(i)
 		s.ScoreWorkers = shares[i]
+		s.VertexBudgetBytes = budgets[i]
 		if s.TotalEdgesHint == 0 {
 			s.TotalEdgesHint = chunkEdges
 		}
@@ -299,11 +326,13 @@ func RunStrategySpotlightFile(name, path string, cfg SpotlightConfig, spec Spec)
 		spec.K = cfg.K
 	}
 	shares := splitScoreWorkers(spec.ScoreWorkers, cfg.Z, cfg.Sequential)
+	budgets := splitVertexBudget(spec.VertexBudgetBytes, cfg.Z)
 	return RunSpotlightStreams(streams, cfg, func(i int, allowed []int) (Runner, error) {
 		s := spec
 		s.Allowed = allowed
 		s.Seed = spec.Seed + uint64(i)
 		s.ScoreWorkers = shares[i]
+		s.VertexBudgetBytes = budgets[i]
 		if s.TotalEdgesHint == 0 {
 			s.TotalEdgesHint = ranges[i].Edges
 		}

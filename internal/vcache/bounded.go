@@ -1,0 +1,468 @@
+package vcache
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/adwise-go/adwise/internal/bitset"
+	"github.com/adwise-go/adwise/internal/graph"
+	"github.com/adwise-go/adwise/internal/hashx"
+)
+
+// tombstone marks a slot whose vertex was evicted under budget pressure.
+// Cache can use degrees[slot] != 0 as the occupancy test because degrees
+// only grow; under eviction a probe chain may pass through freed slots, so
+// Bounded needs a third state that keeps chains intact: probes skip
+// tombstones and only stop at a true empty.
+const tombstone = int32(-1)
+
+// Bounded is a vertex cache with the same flat open-addressing layout as
+// Cache but a fixed byte budget. When an insertion would outgrow the
+// budget the table does not double; instead low-partial-degree vertices
+// are evicted HEP-style — on power-law graphs the low-degree tail is the
+// bulk of the vertices and the least valuable scoring state, so dropping
+// it degrades replication quality gracefully while memory stays fixed.
+//
+// Evicted vertices become tombstones (degree −1, replica words zeroed).
+// An evicted vertex is indistinguishable from one never seen: lookups
+// report degree 0 and an empty replica set, and the next Assign re-enters
+// it as degree 1 with an empty replica set. Insertions reuse the first
+// tombstone on their probe chain; when tombstones come to dominate the
+// table (≥ 1/8 of slots at insert pressure) a same-size compaction rehash
+// drops them to keep probe chains short.
+//
+// maxDeg is a high-water mark over the whole run and never decays, even
+// when the vertex that set it is evicted — see VertexState.
+type Bounded struct {
+	k      int
+	wpe    int   // replica words per entry: ceil(k/64)
+	budget int64 // effective budget, at least the minimum table
+
+	// Same layout as Cache, but degrees is three-state: 0 empty,
+	// tombstone (-1) evicted, > 0 live partial degree. Tombstone slots
+	// always have zeroed replica words so reuse starts clean.
+	mask    uint64
+	keys    []graph.VertexID
+	degrees []int32
+	words   []uint64
+	live    int // slots with degree > 0
+	dead    int // tombstone slots
+
+	sizes    []int64
+	assigned int64
+	maxDeg   int32
+	rehashes int
+	evicted  int64
+	peak     int64
+}
+
+// NewBounded returns an empty bounded cache for k partitions whose table
+// arrays stay within budgetBytes (see the byte-accounting model in
+// state.go). The budget is floored at the minimum table size — a budget
+// too small for any table means "the smallest table, evicting hard". A
+// non-positive budget is unlimited, which makes the bounded cache
+// behaviourally identical to Cache. It panics if k < 1.
+func NewBounded(k int, budgetBytes int64) *Bounded {
+	if k < 1 {
+		panic(fmt.Sprintf("vcache: partition count must be >= 1, got %d", k))
+	}
+	wpe := (k + 63) / 64
+	eff := budgetBytes
+	if eff <= 0 {
+		eff = math.MaxInt64
+	}
+	if floor := tableBytes(minSlots, wpe, k); eff < floor {
+		eff = floor
+	}
+	b := &Bounded{
+		k:       k,
+		wpe:     wpe,
+		budget:  eff,
+		mask:    minSlots - 1,
+		keys:    make([]graph.VertexID, minSlots),
+		degrees: make([]int32, minSlots),
+		words:   make([]uint64, minSlots*wpe),
+		sizes:   make([]int64, k),
+	}
+	b.peak = b.Bytes()
+	return b
+}
+
+// K returns the partition count.
+func (b *Bounded) K() int { return b.k }
+
+// Budget returns the effective byte budget (the configured budget floored
+// at the minimum table).
+func (b *Bounded) Budget() int64 { return b.budget }
+
+// find returns v's slot, or -1 if v is not currently held. Probes skip
+// tombstones and stop only at a true empty slot.
+func (b *Bounded) find(v graph.VertexID) int {
+	i := hashx.SplitMix64(uint64(v)) & b.mask
+	for {
+		d := b.degrees[i]
+		if d == 0 {
+			return -1
+		}
+		if d > 0 && b.keys[i] == v {
+			return int(i)
+		}
+		i = (i + 1) & b.mask
+	}
+}
+
+// bump finds or creates v's slot and increments its partial degree. New
+// vertices reuse the first tombstone on their probe chain when there is
+// one; only an insertion into a true empty counts against the 3/4 load
+// factor (live + dead both lengthen probe chains) and can trigger
+// makeRoom.
+func (b *Bounded) bump(v graph.VertexID) int {
+	for {
+		i := hashx.SplitMix64(uint64(v)) & b.mask
+		reuse := -1
+		for {
+			d := b.degrees[i]
+			if d == 0 {
+				if reuse >= 0 {
+					b.keys[reuse] = v
+					b.degrees[reuse] = 1
+					b.live++
+					b.dead--
+					if b.maxDeg < 1 {
+						b.maxDeg = 1
+					}
+					return reuse
+				}
+				if uint64(b.live+b.dead+1)*4 > (b.mask+1)*3 {
+					b.makeRoom()
+					break // re-probe in the reorganised table
+				}
+				b.keys[i] = v
+				b.degrees[i] = 1
+				b.live++
+				if b.maxDeg < 1 {
+					b.maxDeg = 1
+				}
+				return int(i)
+			}
+			if d > 0 && b.keys[i] == v {
+				d++
+				b.degrees[i] = d
+				if d > b.maxDeg {
+					b.maxDeg = d
+				}
+				return int(i)
+			}
+			if d == tombstone && reuse < 0 {
+				reuse = int(i)
+			}
+			i = (i + 1) & b.mask
+		}
+	}
+}
+
+// makeRoom relieves insert pressure, in preference order: compact away
+// tombstones when they hold ≥ 1/8 of the table (free room, no state
+// loss), double when the doubled table still fits the budget, and
+// otherwise evict. Eviction leaves tombstones in place rather than
+// compacting eagerly: reinsertions reuse them in place, and if pressure
+// recurs before they are reused the tombstone fraction is by then ≥ 1/8
+// (eviction frees at least 1/8 of the slots), so the compaction branch
+// resolves it. bump therefore re-probes at most twice.
+func (b *Bounded) makeRoom() {
+	slots := b.mask + 1
+	if uint64(b.dead)*8 >= slots {
+		b.rehashTo(slots)
+		return
+	}
+	if tableBytes(slots*2, b.wpe, b.k) <= b.budget {
+		b.rehashTo(slots * 2)
+		return
+	}
+	b.evictLowDegree()
+}
+
+// evictLowDegree drops low-partial-degree vertices until at most half the
+// slots are live, ramping the degree threshold 1, 2, 4, … so the fewest
+// high-value vertices go (HEP's selection rule on the streaming partial
+// degree). The sweep is in slot order and stops exactly at the target, so
+// eviction is deterministic for a deterministic input stream. Evicted
+// slots become tombstones with zeroed replica words.
+func (b *Bounded) evictLowDegree() {
+	target := int((b.mask + 1) / 2)
+	for t := int64(1); b.live > target; t *= 2 {
+		for s, d := range b.degrees {
+			if d > 0 && int64(d) <= t {
+				b.degrees[s] = tombstone
+				clear(b.words[s*b.wpe : (s+1)*b.wpe])
+				b.live--
+				b.dead++
+				b.evicted++
+				if b.live <= target {
+					break
+				}
+			}
+		}
+	}
+}
+
+// rehashTo rebuilds the table at the given power-of-two slot count,
+// dropping tombstones. Used for budget-permitted growth, Reserve, and
+// same-size compaction.
+func (b *Bounded) rehashTo(slots uint64) {
+	oldKeys, oldDegrees, oldWords := b.keys, b.degrees, b.words
+	b.rehashes++
+	b.mask = slots - 1
+	b.keys = make([]graph.VertexID, slots)
+	b.degrees = make([]int32, slots)
+	b.words = make([]uint64, int(slots)*b.wpe)
+	b.dead = 0
+	for s, d := range oldDegrees {
+		if d <= 0 {
+			continue
+		}
+		i := hashx.SplitMix64(uint64(oldKeys[s])) & b.mask
+		for b.degrees[i] != 0 {
+			i = (i + 1) & b.mask
+		}
+		b.keys[i] = oldKeys[s]
+		b.degrees[i] = d
+		copy(b.words[int(i)*b.wpe:(int(i)+1)*b.wpe], oldWords[s*b.wpe:(s+1)*b.wpe])
+	}
+	if bytes := tableBytes(slots, b.wpe, b.k); bytes > b.peak {
+		b.peak = bytes
+	}
+}
+
+// replicaView returns the replica bitmap of a live slot as a Set view
+// into the arena — a slice header, no allocation.
+func (b *Bounded) replicaView(slot int) bitset.Set {
+	return bitset.View(b.words[slot*b.wpe:(slot+1)*b.wpe], b.k)
+}
+
+// Known reports whether v is currently held. An evicted vertex is
+// unknown again.
+func (b *Bounded) Known(v graph.VertexID) bool {
+	return b.find(v) >= 0
+}
+
+// HasReplica reports whether v is recorded as replicated on partition p.
+// Eviction forgets replicas: a vertex that physically has a replica on p
+// may report false after being evicted, which costs a redundant replica
+// if it is assigned there again, never a correctness violation.
+func (b *Bounded) HasReplica(v graph.VertexID, p int) bool {
+	slot := b.find(v)
+	if slot < 0 || p < 0 || p >= b.k {
+		return false
+	}
+	return b.words[slot*b.wpe+p>>6]&(1<<(uint(p)&63)) != 0
+}
+
+// Replicas returns the recorded replica set of v: a view valid until the
+// next Assign, empty (capacity 0) for unknown or evicted vertices.
+func (b *Bounded) Replicas(v graph.VertexID) bitset.Set {
+	if slot := b.find(v); slot >= 0 {
+		return b.replicaView(slot)
+	}
+	return bitset.Set{}
+}
+
+// ReplicaCount returns |Rv| for held vertices, 0 otherwise.
+func (b *Bounded) ReplicaCount(v graph.VertexID) int {
+	if slot := b.find(v); slot >= 0 {
+		return b.replicaView(slot).Count()
+	}
+	return 0
+}
+
+// Degree returns the tracked partial degree of v, 0 when unknown or
+// evicted.
+func (b *Bounded) Degree(v graph.VertexID) int {
+	if slot := b.find(v); slot >= 0 {
+		return int(b.degrees[slot])
+	}
+	return 0
+}
+
+// Lookup returns the partial degree and replica view of v with a single
+// probe; (0, empty) on a miss.
+func (b *Bounded) Lookup(v graph.VertexID) (degree int, replicas bitset.Set) {
+	if slot := b.find(v); slot >= 0 {
+		return int(b.degrees[slot]), b.replicaView(slot)
+	}
+	return 0, bitset.Set{}
+}
+
+// LookupWords is the word-level Lookup for scan kernels. A miss — never
+// seen or evicted — returns (0, nil), and a nil word slice ranges zero
+// times, so the word-scan inner loop treats evicted state as "unseen"
+// with no extra branch.
+//
+//adwise:zeroalloc
+func (b *Bounded) LookupWords(v graph.VertexID) (degree int, words []uint64) {
+	if slot := b.find(v); slot >= 0 {
+		return int(b.degrees[slot]), b.words[slot*b.wpe : (slot+1)*b.wpe]
+	}
+	return 0, nil
+}
+
+// MaxDegree returns the largest partial degree ever observed (floor 1).
+// It is a high-water mark: eviction does not decay it, so the balance
+// normaliser is monotone exactly as with the unbounded Cache.
+func (b *Bounded) MaxDegree() int {
+	if b.maxDeg < 1 {
+		return 1
+	}
+	return int(b.maxDeg)
+}
+
+// Assign records the assignment of edge (u,v) to partition p and returns
+// which endpoints gained a new replica. Evicted endpoints re-enter as
+// degree 1 with an empty replica set, so they always report a new
+// replica. It panics if p is out of range.
+func (b *Bounded) Assign(e graph.Edge, p int) (newSrc, newDst bool) {
+	if p < 0 || p >= b.k {
+		panic(fmt.Sprintf("vcache: assignment to partition %d outside [0,%d)", p, b.k))
+	}
+	w, m := p>>6, uint64(1)<<(uint(p)&63)
+
+	slot := b.bump(e.Src)
+	if b.words[slot*b.wpe+w]&m == 0 {
+		b.words[slot*b.wpe+w] |= m
+		newSrc = true
+	}
+	if e.Dst != e.Src {
+		// bump may reorganise the table, so the Dst slot is resolved
+		// after the Src update is complete.
+		slot = b.bump(e.Dst)
+		if b.words[slot*b.wpe+w]&m == 0 {
+			b.words[slot*b.wpe+w] |= m
+			newDst = true
+		}
+	}
+	b.sizes[p]++
+	b.assigned++
+	return newSrc, newDst
+}
+
+// Assigned returns the number of edges assigned so far. Edge counts are
+// not vertex state and are exact under eviction.
+func (b *Bounded) Assigned() int64 { return b.assigned }
+
+// Vertices returns the number of vertices currently held (excludes
+// evicted vertices).
+func (b *Bounded) Vertices() int { return b.live }
+
+// Size returns the number of edges assigned to partition p (exact under
+// eviction).
+func (b *Bounded) Size(p int) int64 { return b.sizes[p] }
+
+// Sizes returns a copy of the per-partition edge counts.
+func (b *Bounded) Sizes() []int64 {
+	out := make([]int64, b.k)
+	copy(out, b.sizes)
+	return out
+}
+
+// MinMaxSize returns the smallest and largest partition sizes.
+func (b *Bounded) MinMaxSize() (min, max int64) {
+	min, max = b.sizes[0], b.sizes[0]
+	for _, s := range b.sizes[1:] {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return min, max
+}
+
+// MinMaxSizeOf returns the smallest and largest sizes among the given
+// partitions. It panics on an empty partition list.
+func (b *Bounded) MinMaxSizeOf(parts []int) (min, max int64) {
+	if len(parts) == 0 {
+		panic("vcache: MinMaxSizeOf on empty partition list")
+	}
+	min, max = b.sizes[parts[0]], b.sizes[parts[0]]
+	for _, p := range parts[1:] {
+		s := b.sizes[p]
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return min, max
+}
+
+// Imbalance returns (maxsize−minsize)/maxsize; zero when nothing is
+// assigned.
+func (b *Bounded) Imbalance() float64 {
+	min, max := b.MinMaxSize()
+	if max == 0 {
+		return 0
+	}
+	return float64(max-min) / float64(max)
+}
+
+// SumReplicas sums |Rv| over currently held vertices. Under eviction this
+// undercounts the true replication of the assignment — use the exact
+// metrics pass over the assignment for quality measurement.
+func (b *Bounded) SumReplicas() int64 {
+	var sum int64
+	for slot, d := range b.degrees {
+		if d > 0 {
+			sum += int64(b.replicaView(slot).Count())
+		}
+	}
+	return sum
+}
+
+// ReplicationDegree returns the mean replica count over currently held
+// vertices; zero when none are held.
+func (b *Bounded) ReplicationDegree() float64 {
+	if b.live == 0 {
+		return 0
+	}
+	return float64(b.SumReplicas()) / float64(b.live)
+}
+
+// ForEachVertex calls fn for every currently held vertex with its replica
+// view. Iteration order is unspecified; evicted vertices are not visited.
+func (b *Bounded) ForEachVertex(fn func(v graph.VertexID, replicas bitset.Set)) {
+	for slot, d := range b.degrees {
+		if d > 0 {
+			fn(b.keys[slot], b.replicaView(slot))
+		}
+	}
+}
+
+// Reserve grows the table upfront for an expected vertex count, clamped
+// to the largest table the budget allows. No-op when the table is already
+// large enough.
+func (b *Bounded) Reserve(vertices int) {
+	slots := slotsFor(vertices)
+	for slots > minSlots && tableBytes(slots, b.wpe, b.k) > b.budget {
+		slots /= 2
+	}
+	if slots > b.mask+1 {
+		b.rehashTo(slots)
+	}
+}
+
+// Rehashes counts table rebuilds: growth doublings, Reserve rehashes, and
+// post-eviction compactions.
+func (b *Bounded) Rehashes() int { return b.rehashes }
+
+// Bytes returns the tracked byte footprint of the table arrays.
+func (b *Bounded) Bytes() int64 { return tableBytes(b.mask+1, b.wpe, b.k) }
+
+// PeakBytes returns the largest footprint reached over the run. The
+// budget invariant is PeakBytes() <= Budget().
+func (b *Bounded) PeakBytes() int64 { return b.peak }
+
+// EvictedVertices counts vertices dropped under budget pressure. A vertex
+// evicted and re-inserted n times counts n times.
+func (b *Bounded) EvictedVertices() int64 { return b.evicted }

@@ -1,0 +1,180 @@
+package vcache
+
+import (
+	"unsafe"
+
+	"github.com/adwise-go/adwise/internal/bitset"
+	"github.com/adwise-go/adwise/internal/graph"
+)
+
+// VertexState is the read/write surface the partitioning engine uses on
+// vertex state: the per-edge scoring reads (Lookup, LookupWords, Degree,
+// MaxDegree), the commit write (Assign), the balance/size accessors, and
+// the run-level aggregates. Two implementations exist:
+//
+//   - Cache — the unbounded open-addressing table (the default): exact
+//     state for every vertex ever seen, memory grows with |V|.
+//   - Bounded — the same layout under a byte budget: when the table would
+//     outgrow the budget it evicts low-partial-degree vertices HEP-style
+//     instead of doubling, so memory stays fixed while quality degrades
+//     gracefully on power-law graphs.
+//
+// The contract both implementations share: a vertex the state does not
+// hold is indistinguishable from one never seen — Lookup reports degree 0
+// and an empty replica set, LookupWords reports (0, nil) and a nil word
+// slice scans as the empty set, and the next Assign re-enters the vertex
+// at degree 1 with an empty replica set. Scoring kernels therefore treat
+// a miss as "unseen" with no extra branch. MaxDegree is a high-water mark
+// over the whole run: it never decays, even when the vertex that set it
+// is evicted, so the replication normaliser of Eq. 5 is identical across
+// implementations. Partition sizes and Assigned count edges, not vertex
+// state, and are exact under eviction.
+//
+// Like Cache, a VertexState is owned by one partitioner instance and is
+// not safe for concurrent use.
+type VertexState interface {
+	// K returns the partition count.
+	K() int
+	// Known reports whether v is currently held (an evicted vertex is
+	// unknown again).
+	Known(v graph.VertexID) bool
+	// HasReplica reports whether v is recorded as replicated on p.
+	HasReplica(v graph.VertexID, p int) bool
+	// Replicas returns v's replica set as a view valid until the next
+	// Assign; empty (capacity 0) for unknown vertices.
+	Replicas(v graph.VertexID) bitset.Set
+	// ReplicaCount returns |Rv| for held vertices, 0 otherwise.
+	ReplicaCount(v graph.VertexID) int
+	// Degree returns the tracked partial degree of v (0 when unknown).
+	Degree(v graph.VertexID) int
+	// Lookup returns degree and replica view with a single probe.
+	Lookup(v graph.VertexID) (degree int, replicas bitset.Set)
+	// LookupWords is the word-level Lookup for scan kernels: (0, nil) on
+	// a miss, and nil scans as the empty set.
+	LookupWords(v graph.VertexID) (degree int, words []uint64)
+	// MaxDegree returns the largest partial degree ever observed (floor
+	// 1). It is a high-water mark and never decays under eviction.
+	MaxDegree() int
+	// Assign records edge e on partition p and reports which endpoints
+	// gained a new replica.
+	Assign(e graph.Edge, p int) (newSrc, newDst bool)
+	// Assigned returns the number of edges assigned so far (exact).
+	Assigned() int64
+	// Vertices returns the number of vertices currently held.
+	Vertices() int
+	// Size returns the edge count of partition p (exact).
+	Size(p int) int64
+	// Sizes returns a copy of the per-partition edge counts.
+	Sizes() []int64
+	// MinMaxSize returns the global partition-size extrema.
+	MinMaxSize() (min, max int64)
+	// MinMaxSizeOf returns the extrema over the given partitions.
+	MinMaxSizeOf(parts []int) (min, max int64)
+	// Imbalance returns (max−min)/max over all partitions.
+	Imbalance() float64
+	// SumReplicas sums |Rv| over held vertices.
+	SumReplicas() int64
+	// ReplicationDegree returns the mean replica count over held vertices.
+	ReplicationDegree() float64
+	// ForEachVertex visits every held vertex with its replica view.
+	ForEachVertex(fn func(v graph.VertexID, replicas bitset.Set))
+	// Reserve sizes the table upfront for an expected vertex count, so a
+	// known-size stream skips the doubling rehashes. A bounded state
+	// clamps the reservation to its budget. No-op when the table is
+	// already large enough.
+	Reserve(vertices int)
+	// Rehashes counts table rebuilds (growth doublings and, for bounded
+	// states, post-eviction compactions).
+	Rehashes() int
+	// Bytes returns the tracked byte footprint of the table arrays
+	// (keys, degrees, replica arena, partition sizes).
+	Bytes() int64
+	// PeakBytes returns the largest Bytes() value ever reached.
+	PeakBytes() int64
+	// EvictedVertices counts vertices dropped under budget pressure
+	// (always 0 for the unbounded Cache).
+	EvictedVertices() int64
+}
+
+// Both implementations satisfy the interface.
+var (
+	_ VertexState = (*Cache)(nil)
+	_ VertexState = (*Bounded)(nil)
+)
+
+// Byte-accounting model: the tracked footprint is the resident table
+// arrays — keys, degrees, the replica word arena, and the per-partition
+// size counters. Slice headers, the struct itself, and the transient old
+// arrays freed by a rehash are not counted; the model is the steady-state
+// footprint the budget is meant to bound.
+const (
+	bytesPerKey    = int64(unsafe.Sizeof(graph.VertexID(0)))
+	bytesPerDegree = int64(unsafe.Sizeof(int32(0)))
+	bytesPerWord   = int64(unsafe.Sizeof(uint64(0)))
+	bytesPerSize   = int64(unsafe.Sizeof(int64(0)))
+)
+
+// tableBytes returns the tracked footprint of a table with the given slot
+// count, replica words per entry, and partition count.
+func tableBytes(slots uint64, wpe, k int) int64 {
+	return int64(slots)*(bytesPerKey+bytesPerDegree+int64(wpe)*bytesPerWord) + int64(k)*bytesPerSize
+}
+
+// slotsFor returns the smallest power-of-two slot count (≥ minSlots) that
+// holds the given vertex count below the 3/4 load-factor growth trigger.
+func slotsFor(vertices int) uint64 {
+	slots := uint64(minSlots)
+	for vertices > 0 && uint64(vertices)*4 > slots*3 {
+		slots *= 2
+	}
+	return slots
+}
+
+// VerticesHintForEdges derives a vertex-count table hint from an edge
+// count — the same Remaining()/plan-derived figure the assignment sizing
+// uses. An edge introduces at most two vertices, and the evaluation
+// graphs average ≥ 8 incident edges per vertex, so edges/4 is a
+// conservative table reservation: an undershoot costs at most a couple of
+// doubling rehashes, an overshoot costs idle slots. Non-positive edge
+// counts (unknown length) hint 0, which leaves the table at its minimum.
+func VerticesHintForEdges(edges int64) int {
+	if edges <= 0 {
+		return 0
+	}
+	const maxHint = int64(1) << 31
+	hint := edges / 4
+	if hint > maxHint {
+		hint = maxHint
+	}
+	return int(hint)
+}
+
+// Options selects and sizes a VertexState — the one construction path
+// every strategy shares (partition framework, core, tests).
+type Options struct {
+	// K is the partition count.
+	K int
+	// BudgetBytes caps the table's tracked byte footprint. 0 (or
+	// negative) selects the unbounded Cache; positive selects a Bounded
+	// state that evicts low-degree vertices instead of outgrowing the
+	// budget.
+	BudgetBytes int64
+	// VerticesHint pre-sizes the table for an expected vertex count
+	// (see Reserve); 0 starts at the minimum table.
+	VerticesHint int
+}
+
+// Build constructs the vertex state the options describe.
+func Build(o Options) VertexState {
+	if o.BudgetBytes > 0 {
+		b := NewBounded(o.K, o.BudgetBytes)
+		if o.VerticesHint > 0 {
+			b.Reserve(o.VerticesHint)
+		}
+		return b
+	}
+	if o.VerticesHint > 0 {
+		return NewWithHint(o.K, o.VerticesHint)
+	}
+	return New(o.K)
+}

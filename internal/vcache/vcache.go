@@ -45,22 +45,33 @@ type Cache struct {
 	sizes    []int64
 	assigned int64
 	maxDeg   int32
+	rehashes int
 }
 
 // New returns an empty cache for k partitions. It panics if k < 1; the
 // partition count is a static configuration error, not a runtime condition.
 func New(k int) *Cache {
+	return NewWithHint(k, 0)
+}
+
+// NewWithHint returns an empty cache for k partitions with its table
+// pre-sized for the expected vertex count, so a known-size stream (e.g.
+// one whose length stream.Remaining or the segment plan reports) skips
+// the doubling rehashes New's minimum table would pay on the way up. A
+// non-positive hint starts at the minimum table. It panics if k < 1.
+func NewWithHint(k, vertices int) *Cache {
 	if k < 1 {
 		panic(fmt.Sprintf("vcache: partition count must be >= 1, got %d", k))
 	}
 	wpe := (k + 63) / 64
+	slots := slotsFor(vertices)
 	return &Cache{
 		k:       k,
 		wpe:     wpe,
-		mask:    minSlots - 1,
-		keys:    make([]graph.VertexID, minSlots),
-		degrees: make([]int32, minSlots),
-		words:   make([]uint64, minSlots*wpe),
+		mask:    slots - 1,
+		keys:    make([]graph.VertexID, slots),
+		degrees: make([]int32, slots),
+		words:   make([]uint64, int(slots)*wpe),
 		sizes:   make([]int64, k),
 	}
 }
@@ -119,8 +130,13 @@ func (c *Cache) bump(v graph.VertexID) int {
 // handed out earlier (Replicas, Lookup) are invalidated by growth; they are
 // only specified to live until the next Assign.
 func (c *Cache) grow() {
+	c.rehashTo((c.mask + 1) * 2)
+}
+
+// rehashTo rebuilds the table at the given power-of-two slot count.
+func (c *Cache) rehashTo(slots uint64) {
 	oldKeys, oldDegrees, oldWords := c.keys, c.degrees, c.words
-	slots := (c.mask + 1) * 2
+	c.rehashes++
 	c.mask = slots - 1
 	c.keys = make([]graph.VertexID, slots)
 	c.degrees = make([]int32, slots)
@@ -342,3 +358,29 @@ func (c *Cache) ForEachVertex(fn func(v graph.VertexID, replicas bitset.Set)) {
 		}
 	}
 }
+
+// Reserve grows the table upfront to hold the expected vertex count below
+// the load-factor growth trigger. No-op when the table is already large
+// enough; existing entries are rehashed into the larger table.
+func (c *Cache) Reserve(vertices int) {
+	if slots := slotsFor(vertices); slots > c.mask+1 {
+		c.rehashTo(slots)
+	}
+}
+
+// Rehashes counts table rebuilds (doubling growths and Reserve rehashes).
+// A correctly hinted cache (NewWithHint, Reserve before the first Assign)
+// reports 0 for streams that stay within the hint.
+func (c *Cache) Rehashes() int { return c.rehashes }
+
+// Bytes returns the tracked byte footprint of the table arrays (keys,
+// degrees, replica arena, partition sizes) — see the byte-accounting model
+// in state.go.
+func (c *Cache) Bytes() int64 { return tableBytes(c.mask+1, c.wpe, c.k) }
+
+// PeakBytes returns the largest footprint reached. The unbounded table
+// only ever grows, so this equals Bytes.
+func (c *Cache) PeakBytes() int64 { return c.Bytes() }
+
+// EvictedVertices is always 0: the unbounded cache never evicts.
+func (c *Cache) EvictedVertices() int64 { return 0 }
